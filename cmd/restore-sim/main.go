@@ -1,0 +1,455 @@
+// Command restore-sim regenerates every table and figure of the ReStore
+// paper's evaluation (Wang & Patel, DSN 2005) from the Go reproduction.
+//
+// Usage:
+//
+//	restore-sim [flags] <experiment>
+//
+// Experiments:
+//
+//	fig2          software-level fault injection (Section 3.1, Figure 2)
+//	fig2-low32    low-32-bit injection variant (Section 3.1)
+//	fig4          microarchitectural campaign, perfect detection (Figure 4)
+//	fig4-latches  latch-only campaign (Section 5.1.2)
+//	fig5          ReStore with JRS confidence (Figure 5)
+//	fig5-perfect  oracle-confidence ablation (Section 5.2.1)
+//	fig6          hardened (parity/ECC) pipeline + ReStore (Figure 6)
+//	fig7          false-positive performance cost (Figure 7)
+//	fig8          FIT scaling with design size (Figure 8)
+//	summary       headline metrics: failure rates and MTBF gains
+//	compare       ReStore vs full replication (DMR): coverage and cost
+//	ablate-jrs    sweep the JRS confidence threshold (coverage vs cost)
+//	ablate-ckpt   sweep the number of live checkpoints (reach vs cost)
+//	vulnerability per-structure failure breakdown (AVF-style)
+//	demo          run the ReStore processor and print its activity report
+//	all           everything above, in order
+//
+// Paper-scale campaigns take minutes; use -trials to scale them down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/fit"
+	"repro/internal/harden"
+	"repro/internal/inject"
+	"repro/internal/perf"
+	"repro/internal/restore"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "restore-sim:", err)
+		os.Exit(1)
+	}
+}
+
+type cli struct {
+	opts     experiments.Options
+	csv      bool
+	interval uint64
+	perBench bool
+
+	// campaigns are deterministic for fixed options, so `all` shares one
+	// campaign across the figures that reclassify the same trials.
+	campaignCache map[campaignKey]*experiments.UArchExperiment
+}
+
+type campaignKey struct {
+	latchesOnly bool
+	scheme      harden.Scheme
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("restore-sim", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 42, "campaign seed")
+		scale    = fs.Float64("scale", 1.0, "workload data-structure scale")
+		trials   = fs.Float64("trials", 0.25, "campaign size factor (1.0 = paper scale)")
+		benches  = fs.String("bench", "", "comma-separated benchmark subset (default: all seven)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		interval = fs.Uint64("interval", 100, "checkpoint interval for summary metrics")
+		perBench = fs.Bool("perbench", false, "append per-benchmark breakdowns")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n\n")
+		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability demo all\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one experiment required")
+	}
+
+	c := &cli{
+		opts: experiments.Options{
+			Seed:        *seed,
+			Scale:       *scale,
+			TrialFactor: *trials,
+		},
+		csv:      *csv,
+		interval: *interval,
+		perBench: *perBench,
+	}
+	if *benches != "" {
+		for _, name := range strings.Split(*benches, ",") {
+			c.opts.Benchmarks = append(c.opts.Benchmarks, workload.Benchmark(strings.TrimSpace(name)))
+		}
+	}
+
+	switch fs.Arg(0) {
+	case "fig2":
+		return c.fig2(false)
+	case "fig2-low32":
+		return c.fig2(true)
+	case "fig4":
+		return c.fig4(false)
+	case "fig4-latches":
+		return c.fig4(true)
+	case "fig5":
+		return c.fig5(inject.DetectorJRS, "Figure 5: ReStore coverage with JRS confidence vs checkpoint interval")
+	case "fig5-perfect":
+		return c.fig5(inject.DetectorOracleConfidence, "Section 5.2.1 ablation: perfect confidence predictor")
+	case "fig6":
+		return c.fig6()
+	case "fig7":
+		return c.fig7()
+	case "fig8":
+		return c.fig8()
+	case "summary":
+		return c.summary()
+	case "compare":
+		return c.compare()
+	case "ablate-jrs":
+		return c.ablateJRS()
+	case "ablate-ckpt":
+		return c.ablateCheckpoints()
+	case "vulnerability":
+		return c.vulnerability()
+	case "demo":
+		return c.demo()
+	case "all":
+		return c.all()
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
+	}
+}
+
+// benchList returns the benchmarks this run covers, in suite order.
+func (c *cli) benchList() []workload.Benchmark {
+	if len(c.opts.Benchmarks) > 0 {
+		return c.opts.Benchmarks
+	}
+	return workload.Benchmarks()
+}
+
+func (c *cli) emit(t *stats.StackedTable) {
+	if c.csv {
+		fmt.Print(t.RenderCSV())
+		return
+	}
+	fmt.Print(t.Render())
+}
+
+func (c *cli) fig2(low32 bool) error {
+	res, err := experiments.Fig2(c.opts, low32)
+	if err != nil {
+		return err
+	}
+	c.emit(res.Table)
+	n := len(res.AllTrials)
+	masked := res.Table.Cell("masked", "25")
+	fmt.Printf("\ntrials: %d  masked: %.1f%%  (95%% CI margin ≤ %.2f%%; paper: ~59%% masked)\n",
+		n, 100*masked, 100*stats.WorstCaseMargin95(n))
+	if c.perBench {
+		fmt.Printf("\n%-10s %8s %10s %8s\n", "benchmark", "masked", "exc@100", "cfv@100")
+		for _, bench := range c.benchList() {
+			r, ok := res.PerBench[bench]
+			if !ok {
+				continue
+			}
+			d := r.Distribution(100)
+			fmt.Printf("%-10s %7.1f%% %9.1f%% %7.1f%%\n", bench,
+				100*r.MaskedFraction(), 100*d["exception"], 100*d["cfv"])
+		}
+	}
+	return nil
+}
+
+func (c *cli) campaign(latchesOnly bool, scheme harden.Scheme) (*experiments.UArchExperiment, error) {
+	key := campaignKey{latchesOnly: latchesOnly, scheme: scheme}
+	if exp, ok := c.campaignCache[key]; ok {
+		return exp, nil
+	}
+	exp, err := experiments.Campaign(c.opts, experiments.CampaignConfig{
+		LatchesOnly: latchesOnly,
+		Harden:      scheme,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.campaignCache == nil {
+		c.campaignCache = make(map[campaignKey]*experiments.UArchExperiment)
+	}
+	c.campaignCache[key] = exp
+	return exp, nil
+}
+
+func (c *cli) fig4(latchesOnly bool) error {
+	exp, err := c.campaign(latchesOnly, harden.None)
+	if err != nil {
+		return err
+	}
+	title := "Figure 4: soft error propagation vs checkpoint interval (perfect cfv detection)"
+	if latchesOnly {
+		title = "Section 5.1.2: latch-only injection vs checkpoint interval (perfect cfv detection)"
+	}
+	c.emit(exp.Table(title, inject.DetectorPerfect))
+	c.coverageFooter(exp, inject.DetectorPerfect)
+	return nil
+}
+
+func (c *cli) fig5(det inject.Detector, title string) error {
+	exp, err := c.campaign(false, harden.None)
+	if err != nil {
+		return err
+	}
+	c.emit(exp.Table(title, det))
+	c.coverageFooter(exp, det)
+	return nil
+}
+
+func (c *cli) fig6() error {
+	exp, err := c.campaign(false, harden.LowHangingFruit)
+	if err != nil {
+		return err
+	}
+	c.emit(exp.Table("Figure 6: ReStore coverage in the hardened (parity/ECC) pipeline", inject.DetectorJRS))
+	c.coverageFooter(exp, inject.DetectorJRS)
+	for bench, r := range exp.PerBench {
+		fmt.Printf("%s: protection covers %.1f%% of state bits, overhead %.1f%%\n",
+			bench, 100*r.HardenStats.CoveredFraction(), 100*r.HardenStats.OverheadFraction())
+		break // geometry is identical across benchmarks
+	}
+	return nil
+}
+
+func (c *cli) coverageFooter(exp *experiments.UArchExperiment, det inject.Detector) {
+	n := len(exp.AllTrials)
+	fmt.Printf("\ntrials: %d  (95%% CI margin ≤ %.2f%%)\n", n, 100*stats.WorstCaseMargin95(n))
+	fmt.Printf("failure rate: baseline %.2f%%", 100*exp.RawFailureRate())
+	for _, iv := range []uint64{25, 100, 500, 2000} {
+		fmt.Printf("  @%d: %.2f%%", iv, 100*exp.FailureRateAt(iv, det))
+	}
+	fmt.Println()
+	if c.perBench {
+		fmt.Printf("\n%-10s %8s %10s %10s\n", "benchmark", "trials", "baseline", "@interval")
+		for _, bench := range c.benchList() {
+			r, ok := exp.PerBench[bench]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-10s %8d %9.2f%% %9.2f%%\n", bench, len(r.Trials),
+				100*inject.RawFailureRate(r.Trials),
+				100*inject.FailureRate(r.Trials, c.interval, det))
+		}
+	}
+}
+
+func (c *cli) fig7() error {
+	res, err := experiments.Fig7(c.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table)
+	fmt.Printf("\nmodel inputs (suite mean): baseCPI=%.3f replayCPI=%.3f symptomRate=%.5f flush=%.1f\n",
+		res.Mean.BaseCPI, res.Mean.ReplayCPI, res.Mean.SymptomRate, res.Mean.FlushPenalty)
+	fmt.Println("(paper: ~6% slowdown at a 100-instruction interval; delayed wins beyond ~500)")
+	return nil
+}
+
+func (c *cli) fig8() error {
+	plain, err := c.campaign(false, harden.None)
+	if err != nil {
+		return err
+	}
+	hardened, err := c.campaign(false, harden.LowHangingFruit)
+	if err != nil {
+		return err
+	}
+	res := experiments.Fig8(plain, hardened, c.interval)
+	fmt.Print(res.Table)
+	fmt.Printf("\nMTBF improvement over baseline: ReStore %.1fx, lhf %.1fx, lhf+ReStore %.1fx (paper: 2x / - / 7x)\n",
+		res.Improvements[fit.ReStore], res.Improvements[fit.LHF], res.Improvements[fit.LHFReStore])
+	goal := res.GoalFIT
+	fmt.Printf("largest design meeting the 1000-year goal (%.0f FIT): baseline %.0f bits, lhf+ReStore %.0f bits\n",
+		goal, res.Model.MaxSizeMeetingGoal(fit.Baseline, goal),
+		res.Model.MaxSizeMeetingGoal(fit.LHFReStore, goal))
+	return nil
+}
+
+func (c *cli) summary() error {
+	plain, err := c.campaign(false, harden.None)
+	if err != nil {
+		return err
+	}
+	hardened, err := c.campaign(false, harden.LowHangingFruit)
+	if err != nil {
+		return err
+	}
+	s := experiments.Summarize(plain, hardened, c.interval)
+	fmt.Printf("ReStore headline metrics at a %d-instruction checkpoint interval\n", c.interval)
+	fmt.Printf("  (trials: %d plain + %d hardened)\n\n", len(plain.AllTrials), len(hardened.AllTrials))
+	fmt.Printf("  %-28s %8s %10s\n", "configuration", "failure", "paper")
+	fmt.Printf("  %-28s %7.2f%% %10s\n", "baseline", 100*s.BaselineFailureRate, "~7%")
+	fmt.Printf("  %-28s %7.2f%% %10s\n", "ReStore (JRS)", 100*s.ReStoreFailureRate, "~3.5%")
+	fmt.Printf("  %-28s %7.2f%% %10s\n", "lhf (parity/ECC)", 100*s.LHFFailureRate, "~3%")
+	fmt.Printf("  %-28s %7.2f%% %10s\n", "lhf+ReStore", 100*s.CombinedFailureRate, "~1%")
+	fmt.Printf("\n  MTBF gain: ReStore %.1fx (paper ~2x), lhf+ReStore %.1fx (paper ~7x)\n",
+		s.ReStoreMTBFGain, s.CombinedMTBFGain)
+	return nil
+}
+
+// compare contrasts ReStore's on-demand redundancy with full replication
+// (the paper's Section 1/6 framing: the IBM G5 duplicated its execution
+// pipeline for maximal coverage; ReStore trades some coverage for near-zero
+// cost).
+func (c *cli) compare() error {
+	exp, err := c.campaign(false, harden.None)
+	if err != nil {
+		return err
+	}
+	f7, err := experiments.Fig7(c.opts)
+	if err != nil {
+		return err
+	}
+	iv := c.interval
+	base := exp.RawFailureRate()
+	cov := func(det inject.Detector) float64 {
+		if base == 0 {
+			return 0
+		}
+		return 1 - exp.FailureRateAt(iv, det)/base
+	}
+	speedup := perf.Speedup(f7.Mean, iv, restore.PolicyImmediate)
+
+	fmt.Printf("detection schemes at a %d-instruction checkpoint interval (%d trials)\n\n", iv, len(exp.AllTrials))
+	fmt.Printf("  %-26s %10s %12s %12s\n", "scheme", "coverage", "perf cost", "extra core")
+	fmt.Printf("  %-26s %9.1f%% %12s %12s\n", "none (baseline)", 0.0, "0%", "none")
+	fmt.Printf("  %-26s %9.1f%% %11.1f%% %12s\n", "ReStore (JRS symptoms)",
+		100*cov(inject.DetectorJRS), 100*(1-speedup), "none")
+	fmt.Printf("  %-26s %9.1f%% %11.1f%% %12s\n", "ReStore (perfect cfv)",
+		100*cov(inject.DetectorPerfect), 100*(1-speedup), "none")
+	fmt.Printf("  %-26s %9.1f%% %12s %12s\n", "full replication (DMR)",
+		100*cov(inject.DetectorDMR), "~0%*", "2x pipeline")
+	fmt.Println("\n  (*) replicated cores run in parallel; the cost is silicon and power,")
+	fmt.Println("      not cycles — exactly the trade the paper's Section 1 motivates.")
+	fmt.Printf("\nresidual failure rates: baseline %.2f%%, ReStore %.2f%%, DMR %.2f%%\n",
+		100*base, 100*exp.FailureRateAt(iv, inject.DetectorJRS),
+		100*exp.FailureRateAt(iv, inject.DetectorDMR))
+	return nil
+}
+
+func (c *cli) ablateJRS() error {
+	opts := c.opts
+	if len(opts.Benchmarks) == 0 {
+		opts.Benchmarks = experiments.AblationBenchmarks()
+	}
+	res, err := experiments.AblateJRS(opts, nil, c.interval)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	fmt.Println("(lower thresholds flag more mispredictions as high confidence:")
+	fmt.Println(" more coverage, more false-positive rollbacks — Section 3.2.2's trade-off)")
+	return nil
+}
+
+func (c *cli) ablateCheckpoints() error {
+	exp, err := c.campaign(false, harden.None)
+	if err != nil {
+		return err
+	}
+	f7, err := experiments.Fig7(c.opts)
+	if err != nil {
+		return err
+	}
+	res := experiments.AblateCheckpoints(exp, f7.Mean, c.interval, nil)
+	fmt.Print(res.Render())
+	fmt.Println("(each extra live checkpoint extends the guaranteed rollback reach by one")
+	fmt.Println(" interval but lengthens the mean re-execution after every rollback)")
+	return nil
+}
+
+func (c *cli) vulnerability() error {
+	exp, err := c.campaign(false, harden.None)
+	if err != nil {
+		return err
+	}
+	rep := inject.VulnerabilityReport(exp.AllTrials, c.interval, inject.DetectorPerfect)
+	fmt.Print(inject.RenderVulnerability(rep, c.interval))
+	fmt.Println("\n(the structures at the top are where the low-hanging-fruit parity/ECC")
+	fmt.Println(" placement of Section 5.2.2 pays off; compare with `fig6`)")
+	return nil
+}
+
+func (c *cli) demo() error {
+	bench := workload.MCF
+	if len(c.opts.Benchmarks) > 0 {
+		bench = c.opts.Benchmarks[0]
+	}
+	rep, err := experiments.MeasureRestoreRun(bench, c.opts.Seed, 200_000, restore.Config{
+		Interval: c.interval,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ReStore processor on %s (%d instructions, interval %d):\n", bench, rep.Retired, c.interval)
+	fmt.Printf("  cycles            %d (IPC %.2f)\n", rep.Cycles, float64(rep.Retired)/float64(rep.Cycles))
+	fmt.Printf("  checkpoints       %d\n", rep.Checkpoints)
+	fmt.Printf("  rollbacks         %d\n", rep.Rollbacks)
+	fmt.Printf("  branch symptoms   %d (false positives %d, muted %d)\n",
+		rep.BranchSymptoms, rep.FalsePositives, rep.MutedSymptoms)
+	fmt.Printf("  exception/deadlock symptoms %d/%d\n", rep.ExceptionSymptoms, rep.DeadlockSymptoms)
+	fmt.Printf("  detected errors   %d, vanished symptoms %d\n", rep.DetectedErrors, rep.VanishedSymptoms)
+	return nil
+}
+
+func (c *cli) all() error {
+	steps := []func() error{
+		func() error { return c.fig2(false) },
+		func() error { return c.fig2(true) },
+		func() error { return c.fig4(false) },
+		func() error { return c.fig4(true) },
+		func() error {
+			return c.fig5(inject.DetectorJRS, "Figure 5: ReStore coverage with JRS confidence vs checkpoint interval")
+		},
+		func() error {
+			return c.fig5(inject.DetectorOracleConfidence, "Section 5.2.1 ablation: perfect confidence predictor")
+		},
+		c.fig6,
+		c.fig7,
+		c.fig8,
+		c.summary,
+		c.compare,
+	}
+	for i, step := range steps {
+		if i > 0 {
+			fmt.Println("\n" + strings.Repeat("=", 78) + "\n")
+		}
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CLI's run() is exercised end-to-end with tiny campaigns; output goes
+// to stdout, so these tests assert behaviour through error values and flag
+// handling.
+
+func tinyArgs(experiment string) []string {
+	return []string{"-trials", "0.05", "-scale", "0.5", "-bench", "gzip", experiment}
+}
+
+func TestRunExperimentsSmoke(t *testing.T) {
+	experiments := []string{
+		"fig2", "fig4", "fig5", "fig6", "fig8", "summary", "compare",
+		"ablate-ckpt", "vulnerability",
+	}
+	for _, exp := range experiments {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(tinyArgs(exp)); err != nil {
+				t.Fatalf("%s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunFig7AndDemo(t *testing.T) {
+	if err := run([]string{"-trials", "0.05", "-bench", "gzip", "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "gzip", "-interval", "200", "demo"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPerBenchAndCSV(t *testing.T) {
+	if err := run([]string{"-trials", "0.05", "-scale", "0.5", "-bench", "gzip,mcf", "-perbench", "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trials", "0.05", "-scale", "0.5", "-bench", "gzip", "-csv", "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing experiment accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment: %v", err)
+	}
+	if err := run([]string{"-bench", "quake", "fig2"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-badflag", "fig2"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

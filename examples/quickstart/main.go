@@ -1,0 +1,88 @@
+// Quickstart: build a ReStore processor, run a workload, inject a soft
+// error, and watch the symptom-based detection recover it.
+//
+// This walks the exact scenario of the paper's introduction: a particle
+// strike corrupts live machine state, the corrupted value propagates to a
+// memory access fault within a few dozen instructions, and instead of
+// crashing, the processor rolls back to a checkpoint taken before the fault
+// and replays — recovering the error with no architectural damage.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/restore"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Generate a synthetic benchmark (mcf: pointer-chasing over a
+	// large working set) and load it into a fresh memory image.
+	prog := workload.MustGenerate(workload.MCF, workload.Config{Seed: 1})
+	m, err := prog.NewMemory()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: %d instructions of code, %d data segments\n",
+		prog.Name, prog.NumInsts(), len(prog.Segments))
+
+	// 2. Build the out-of-order pipeline (Alpha-21264-class: 4-wide
+	// fetch, 6-wide issue, 64-entry ROB, JRS confidence estimation) and
+	// wrap it with the ReStore mechanisms: checkpoints every 100
+	// instructions, two live checkpoints, all symptom detectors on.
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		return err
+	}
+	proc := restore.New(pipe, restore.Config{Interval: 100})
+	fmt.Printf("pipeline state space: %d injectable bits\n\n", pipe.State().TotalBits(false))
+
+	// 3. Run fault-free for a while.
+	if _, err := proc.Run(50_000, 5_000_000); err != nil {
+		return err
+	}
+	before := proc.Report()
+	fmt.Printf("after %d clean instructions: %d checkpoints, %d rollbacks\n",
+		before.Retired, before.Checkpoints, before.Rollbacks)
+
+	// 4. Strike! Flip a high bit of a live architectural register. In
+	// mcf's pointer-chase loop r1 holds the list cursor, so the corrupt
+	// pointer lands in unmapped space and the next dereference faults.
+	pipe.CorruptArchReg(isa.Reg(1), 45)
+	fmt.Println("\n*** injected: bit 45 of r1 flipped (soft error) ***")
+
+	// 5. Keep running: ReStore detects the exception symptom, rolls back
+	// to the pre-fault checkpoint, replays, and execution continues.
+	rep, err := proc.Run(100_000, 10_000_000)
+	if err != nil {
+		return fmt.Errorf("unrecovered fault: %w", err)
+	}
+
+	fmt.Printf("\nrecovered and reached %d instructions:\n", rep.Retired)
+	fmt.Printf("  exception symptoms : %d\n", rep.ExceptionSymptoms-before.ExceptionSymptoms)
+	fmt.Printf("  rollbacks          : %d\n", rep.Rollbacks-before.Rollbacks)
+	fmt.Printf("  vanished symptoms  : %d (fault-induced, recovered)\n", rep.VanishedSymptoms)
+	fmt.Printf("  genuine exceptions : %d\n", rep.GenuineExceptions)
+
+	if rep.VanishedSymptoms == 0 {
+		// The flip may have been masked (the cursor was mid-reload).
+		fmt.Println("\nNOTE: the injected fault was masked before causing a symptom —")
+		fmt.Println("the paper observes this for most injections. Re-run with a")
+		fmt.Println("different seed to see an exception-symptom recovery.")
+	} else {
+		fmt.Println("\nThe soft error was detected by its symptom and recovered by")
+		fmt.Println("checkpoint rollback — no replication hardware required.")
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Replication: run the same fault scenario under ReStore (symptom-based,
+// on-demand redundancy) and under full dual-modular replication, the
+// comparison the paper's introduction frames with the IBM S/390 G5.
+//
+// Both machines face an identical corrupted live pointer. DMR detects the
+// divergence at the very first mismatching commit; ReStore waits for the
+// fault to become a symptom (here, a memory access fault a few instructions
+// later). Both recover; the difference is hardware: DMR pays a second
+// pipeline all the time, ReStore pays only a rollback when something looks
+// wrong.
+//
+// Run with: go run ./examples/replication
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/dmr"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/restore"
+	"repro/internal/workload"
+)
+
+const program = `
+	.data buf 4096
+	.base r10 buf
+loop:
+	ldq  r2, 0(r10)      ; dereference the long-lived pointer
+	addq r3, r2, r3
+	stq  r3, 8(r10)
+	xor  r3, r2, r4
+	srl  r4, #3, r5
+	br   loop
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func newPipe(prog *workload.Program) (*pipeline.Pipeline, error) {
+	m, err := prog.NewMemory()
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+}
+
+func run() error {
+	prog, err := asm.Assemble("ptrloop", program)
+	if err != nil {
+		return err
+	}
+
+	// --- ReStore ---
+	pipe1, err := newPipe(prog)
+	if err != nil {
+		return err
+	}
+	proc := restore.New(pipe1, restore.Config{Interval: 100})
+	if _, err := proc.Run(10_000, 1_000_000); err != nil {
+		return err
+	}
+	pipe1.CorruptArchReg(isa.Reg(10), 45) // wild pointer
+	repR, err := proc.Run(50_000, 5_000_000)
+	if err != nil {
+		return err
+	}
+
+	// --- DMR ---
+	pipe2, err := newPipe(prog)
+	if err != nil {
+		return err
+	}
+	core := dmr.New(pipe2, dmr.Config{Interval: 100})
+	if _, err := core.Run(10_000, 1_000_000); err != nil {
+		return err
+	}
+	core.Main().CorruptArchReg(isa.Reg(10), 45)
+	repD, err := core.Run(50_000, 5_000_000)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("same fault — bit 45 of a live pointer — under two architectures:")
+	fmt.Printf("\n%-26s %14s %14s\n", "", "ReStore", "DMR")
+	fmt.Printf("%-26s %14d %14d\n", "instructions completed", repR.Retired, repD.Retired)
+	fmt.Printf("%-26s %14d %14d\n", "cycles", repR.Cycles, repD.Cycles)
+	fmt.Printf("%-26s %14d %14d\n", "detections",
+		repR.ExceptionSymptoms+repR.BranchSymptoms+repR.DeadlockSymptoms, repD.DetectedErrors)
+	fmt.Printf("%-26s %14d %14d\n", "rollbacks", repR.Rollbacks, repD.Rollbacks)
+	fmt.Printf("%-26s %14s %14s\n", "extra hardware", "~none", "2x pipeline")
+	fmt.Printf("%-26s %14s %14s\n", "detection mechanism", "symptom", "commit compare")
+
+	fmt.Println("\nReStore waited for the corrupt pointer to FAULT (an exception symptom);")
+	fmt.Println("DMR caught the first divergent commit. Both recovered via checkpoint")
+	fmt.Println("rollback — ReStore just gets there without a second execution core,")
+	fmt.Println("which is the entire thesis of the paper.")
+	return nil
+}

@@ -1,0 +1,424 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+const (
+	codeBase = 0x10000
+	dataBase = 0x20000
+)
+
+// assemble loads the given instructions at codeBase and returns a ready sim
+// with a RW data page at dataBase.
+func assemble(t *testing.T, insts []isa.Inst) *Sim {
+	t.Helper()
+	m := mem.New()
+	m.Map(codeBase, mem.PageSize, mem.PermRX)
+	m.Map(dataBase, mem.PageSize, mem.PermRW)
+	buf := make([]byte, 0, len(insts)*isa.InstBytes)
+	for _, inst := range insts {
+		w := isa.Encode(inst)
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := m.WriteBytes(codeBase, buf); err != nil {
+		t.Fatalf("load code: %v", err)
+	}
+	return New(m, codeBase)
+}
+
+func run(t *testing.T, s *Sim, max uint64) Event {
+	t.Helper()
+	n, last, err := s.Run(max)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n == max && !s.Stopped() {
+		t.Fatalf("program did not stop within %d instructions", max)
+	}
+	return last
+}
+
+func TestStraightLineArithmetic(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 10, Rc: 1}, // r1 = 10
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 3, Rc: 2},  // r2 = 3
+		{Op: isa.OpMULQ, Ra: 1, Rb: 2, Rc: 3},                  // r3 = 30
+		{Op: isa.OpSUBQ, Ra: 3, Rb: 2, Rc: 4},                  // r4 = 27
+		{Op: isa.OpSLL, Ra: 4, UseLit: true, Lit: 2, Rc: 5},    // r5 = 108
+		{Op: isa.OpHALT},
+	})
+	ev := run(t, s, 100)
+	if !ev.Halted {
+		t.Fatal("expected halt")
+	}
+	want := map[isa.Reg]uint64{1: 10, 2: 3, 3: 30, 4: 27, 5: 108}
+	for r, v := range want {
+		if s.Reg(r) != v {
+			t.Errorf("r%d = %d, want %d", r, s.Reg(r), v)
+		}
+	}
+	if s.InstRet != 6 {
+		t.Errorf("InstRet = %d, want 6", s.InstRet)
+	}
+}
+
+func TestZeroRegisterIsHardwired(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 42, Rc: 31}, // write to zero
+		{Op: isa.OpADDQ, Ra: 31, Rb: 31, Rc: 1},                 // r1 = zero + zero
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 10)
+	if s.Reg(31) != 0 || s.Reg(1) != 0 {
+		t.Errorf("zero register leaked: r31=%d r1=%d", s.Reg(31), s.Reg(1))
+	}
+}
+
+func TestLoopWithConditionalBranch(t *testing.T) {
+	// r1 = 5; r2 = 0; loop: r2 += r1; r1 -= 1; bne r1, loop; halt
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 5, Rc: 1},
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 0, Rc: 2},
+		{Op: isa.OpADDQ, Ra: 2, Rb: 1, Rc: 2},
+		{Op: isa.OpSUBQ, Ra: 1, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpBNE, Ra: 1, Disp: -3},
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 100)
+	if s.Reg(2) != 15 {
+		t.Errorf("sum = %d, want 15", s.Reg(2))
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		// r1 = dataBase (via shifted literal: 0x20000 = 2 << 16)
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 2, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 16, Rc: 1},
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 99, Rc: 2},
+		{Op: isa.OpSTQ, Ra: 2, Rb: 1, Disp: 16},
+		{Op: isa.OpLDQ, Ra: 3, Rb: 1, Disp: 16},
+		{Op: isa.OpSTL, Ra: 2, Rb: 1, Disp: 32},
+		{Op: isa.OpLDL, Ra: 4, Rb: 1, Disp: 32},
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 100)
+	if s.Reg(3) != 99 {
+		t.Errorf("LDQ result = %d, want 99", s.Reg(3))
+	}
+	if s.Reg(4) != 99 {
+		t.Errorf("LDL result = %d, want 99", s.Reg(4))
+	}
+	if v, _ := s.Mem.ReadQ(dataBase + 16); v != 99 {
+		t.Errorf("memory[+16] = %d, want 99", v)
+	}
+}
+
+func TestLDLSignExtends(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 2, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 16, Rc: 1},
+		{Op: isa.OpSUBQ, Ra: 31, UseLit: true, Lit: 1, Rc: 2}, // r2 = -1
+		{Op: isa.OpSTL, Ra: 2, Rb: 1},
+		{Op: isa.OpLDL, Ra: 3, Rb: 1},
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 100)
+	if s.Reg(3) != ^uint64(0) {
+		t.Errorf("LDL did not sign-extend: %#x", s.Reg(3))
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	// bsr r26, func; halt; func: r1 = 7; ret (r26)
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpBSR, Ra: 26, Disp: 1},                      // to index 2
+		{Op: isa.OpHALT},                                      // return lands here
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 7, Rc: 1}, // func
+		{Op: isa.OpRET, Rb: 26, Rc: 31},
+	})
+	run(t, s, 100)
+	if s.Reg(1) != 7 {
+		t.Errorf("r1 = %d, want 7 (function did not run)", s.Reg(1))
+	}
+	if s.Reg(26) != codeBase+4 {
+		t.Errorf("link = %#x, want %#x", s.Reg(26), codeBase+4)
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	// r1 = codeBase + 4*4 (the halt); jmp (r1); bad: r2 = 1
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 16, Rc: 1},  // r1 = 0x10000
+		{Op: isa.OpADDQ, Ra: 1, UseLit: true, Lit: 20, Rc: 1}, // +20 = idx 5
+		{Op: isa.OpJMP, Rb: 1, Rc: 31},                        // jump
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 2}, // skipped
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 100)
+	if s.Reg(2) != 0 {
+		t.Error("indirect jump fell through")
+	}
+}
+
+func TestCMOV(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 5, Rc: 1}, // r1 = 5
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 9, Rc: 2}, // r2 = 9
+		{Op: isa.OpCMOVEQ, Ra: 1, Rb: 2, Rc: 3},               // r1!=0: no move
+		{Op: isa.OpCMOVNE, Ra: 1, Rb: 2, Rc: 4},               // r1!=0: move
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 10)
+	if s.Reg(3) != 0 {
+		t.Errorf("CMOVEQ moved when it should not: r3=%d", s.Reg(3))
+	}
+	if s.Reg(4) != 9 {
+		t.Errorf("CMOVNE did not move: r4=%d", s.Reg(4))
+	}
+}
+
+func TestAccessFaultException(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 40, Rc: 1}, // far unmapped address
+		{Op: isa.OpLDQ, Ra: 2, Rb: 1},
+		{Op: isa.OpHALT},
+	})
+	_, last, err := s.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Exception != ExcAccessFault {
+		t.Fatalf("exception = %v, want access-fault", last.Exception)
+	}
+	if !s.Excepted || s.Halted {
+		t.Error("simulator should be stopped by exception")
+	}
+	if last.ExcAddr != 1<<40 {
+		t.Errorf("ExcAddr = %#x", last.ExcAddr)
+	}
+	// Stepping after an exception repeats the stopped event.
+	ev := s.Step()
+	if ev.Exception != ExcAccessFault {
+		t.Error("Step after exception should report the exception")
+	}
+	if _, _, err := s.Run(1); err != ErrStopped {
+		t.Errorf("Run after stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestAlignmentException(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 2, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 16, Rc: 1},
+		{Op: isa.OpLDQ, Ra: 2, Rb: 1, Disp: 4}, // misaligned
+		{Op: isa.OpHALT},
+	})
+	_, last, _ := s.Run(100)
+	if last.Exception != ExcAlignment {
+		t.Fatalf("exception = %v, want alignment", last.Exception)
+	}
+}
+
+func TestOverflowException(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 62, Rc: 1}, // big positive
+		{Op: isa.OpADDQV, Ra: 1, Rb: 1, Rc: 2},               // overflows
+		{Op: isa.OpHALT},
+	})
+	_, last, _ := s.Run(100)
+	if last.Exception != ExcOverflow {
+		t.Fatalf("exception = %v, want overflow", last.Exception)
+	}
+	// Non-trapping variant must not trap.
+	s2 := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 62, Rc: 1},
+		{Op: isa.OpADDQ, Ra: 1, Rb: 1, Rc: 2},
+		{Op: isa.OpHALT},
+	})
+	_, last2, _ := s2.Run(100)
+	if last2.Exception != ExcNone {
+		t.Errorf("non-trapping add raised %v", last2.Exception)
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	m := mem.New()
+	m.Map(codeBase, mem.PageSize, mem.PermRX)
+	// 0x07<<26 is an undefined primary opcode.
+	word := uint32(0x07) << 26
+	if err := m.WriteBytes(codeBase, []byte{byte(word), byte(word >> 8), byte(word >> 16), byte(word >> 24)}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, codeBase)
+	ev := s.Step()
+	if ev.Exception != ExcIllegalInstruction {
+		t.Fatalf("exception = %v, want illegal-instruction", ev.Exception)
+	}
+}
+
+func TestFetchFromUnmappedFaults(t *testing.T) {
+	m := mem.New()
+	s := New(m, 0x5000)
+	ev := s.Step()
+	if ev.Exception != ExcAccessFault {
+		t.Fatalf("exception = %v, want access-fault on fetch", ev.Exception)
+	}
+}
+
+func TestFetchFromNonExecFaults(t *testing.T) {
+	m := mem.New()
+	m.Map(codeBase, mem.PageSize, mem.PermRW) // mapped but not executable
+	s := New(m, codeBase)
+	if ev := s.Step(); ev.Exception != ExcAccessFault {
+		t.Fatalf("exception = %v, want access-fault", ev.Exception)
+	}
+}
+
+func TestExceptionPreservesState(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 7, Rc: 1},
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 2},
+		{Op: isa.OpSLL, Ra: 2, UseLit: true, Lit: 45, Rc: 2},
+		{Op: isa.OpSTQ, Ra: 1, Rb: 2}, // store to unmapped: faults
+		{Op: isa.OpHALT},
+	})
+	before := s.Mem.Hash()
+	_, last, _ := s.Run(100)
+	if last.Exception != ExcAccessFault {
+		t.Fatalf("exception = %v", last.Exception)
+	}
+	if last.PC != codeBase+3*4 {
+		t.Errorf("faulting PC = %#x, want %#x", last.PC, codeBase+3*4)
+	}
+	if s.PC != codeBase+3*4 {
+		t.Error("PC advanced past faulting instruction")
+	}
+	if s.Mem.Hash() != before {
+		t.Error("memory modified by faulting store")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpADDQ, Ra: 1, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpADDQ, Ra: 1, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpHALT},
+	})
+	s.Step()
+	snap := s.Snapshot()
+	s.Step()
+	s.Step()
+	if s.Reg(1) != 3 {
+		t.Fatalf("r1 = %d before restore", s.Reg(1))
+	}
+	s.Restore(snap)
+	if s.Reg(1) != 1 || s.PC != codeBase+4 || s.InstRet != 1 {
+		t.Errorf("restore failed: r1=%d pc=%#x ret=%d", s.Reg(1), s.PC, s.InstRet)
+	}
+	// Re-execution after restore reproduces the original result.
+	s.Step()
+	s.Step()
+	if s.Reg(1) != 3 {
+		t.Errorf("replay after restore: r1=%d, want 3", s.Reg(1))
+	}
+}
+
+func TestEventFields(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 2, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 16, Rc: 1},
+		{Op: isa.OpSTQ, Ra: 1, Rb: 1, Disp: 8},
+		{Op: isa.OpLDQ, Ra: 2, Rb: 1, Disp: 8},
+		{Op: isa.OpBEQ, Ra: 31, Disp: 0}, // taken (zero == 0)
+		{Op: isa.OpHALT},
+	})
+	ev := s.Step() // addq
+	if !ev.DestValid || ev.Dest != 1 || ev.DestVal != 2 {
+		t.Errorf("addq event: %+v", ev)
+	}
+	s.Step() // sll
+	ev = s.Step()
+	if !ev.IsStore || ev.MemAddr != dataBase+8 || ev.StoreVal != dataBase || ev.StoreSize != 8 {
+		t.Errorf("store event: %+v", ev)
+	}
+	ev = s.Step()
+	if !ev.IsLoad || ev.MemAddr != dataBase+8 || ev.DestVal != dataBase {
+		t.Errorf("load event: %+v", ev)
+	}
+	ev = s.Step()
+	if !ev.IsBranch || !ev.Taken || ev.NextPC != codeBase+5*4 {
+		t.Errorf("branch event: %+v", ev)
+	}
+}
+
+func TestExceptionKindStrings(t *testing.T) {
+	kinds := []ExceptionKind{ExcNone, ExcAccessFault, ExcAlignment, ExcOverflow, ExcIllegalInstruction, ExceptionKind(99)}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		str := k.String()
+		if str == "" || seen[str] {
+			t.Errorf("bad or duplicate string for %d: %q", k, str)
+		}
+		seen[str] = true
+	}
+}
+
+func TestIndirectJumpMasksLowBits(t *testing.T) {
+	// Alpha jump targets clear the low two bits; a corrupted link with
+	// bit 0 set must still land on the instruction boundary.
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpSLL, Ra: 1, UseLit: true, Lit: 16, Rc: 1},  // r1 = 0x10000
+		{Op: isa.OpADDQ, Ra: 1, UseLit: true, Lit: 23, Rc: 1}, // +23: low bits dirty
+		{Op: isa.OpJMP, Rb: 1, Rc: 31},                        // lands at +20 (idx 5)
+		{Op: isa.OpADDQ, Ra: 31, UseLit: true, Lit: 9, Rc: 2}, // skipped
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 100)
+	if s.Reg(2) != 0 {
+		t.Error("low target bits not masked")
+	}
+}
+
+func TestCMOVWithLiteral(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpCMOVEQ, Ra: 31, UseLit: true, Lit: 77, Rc: 1}, // zero==0: move literal
+		{Op: isa.OpHALT},
+	})
+	run(t, s, 10)
+	if s.Reg(1) != 77 {
+		t.Errorf("cmov literal = %d, want 77", s.Reg(1))
+	}
+}
+
+func TestRunExactBudget(t *testing.T) {
+	s := assemble(t, []isa.Inst{
+		{Op: isa.OpADDQ, Ra: 1, UseLit: true, Lit: 1, Rc: 1},
+		{Op: isa.OpBR, Ra: 31, Disp: -2}, // tight infinite loop
+	})
+	n, _, err := s.Run(1000)
+	if err != nil || n != 1000 {
+		t.Fatalf("ran %d, err %v", n, err)
+	}
+	if s.InstRet != 1000 {
+		t.Errorf("InstRet = %d", s.InstRet)
+	}
+}
+
+func TestSetRegZeroDiscarded(t *testing.T) {
+	s := assemble(t, []isa.Inst{{Op: isa.OpHALT}})
+	s.SetReg(isa.RegZero, 99)
+	if s.Reg(isa.RegZero) != 0 {
+		t.Error("zero register wrote through")
+	}
+}

@@ -1,0 +1,440 @@
+// Package asm implements a textual assembler for the Alpha-like ISA, on top
+// of the workload Builder. It exists so that users of the library — and the
+// fault-injection examples — can write small test programs as readable
+// assembly instead of hand-constructing isa.Inst values.
+//
+// Syntax, one statement per line (';' or '//' starts a trailing comment;
+// '#' comments a whole line, since '#' also prefixes literals):
+//
+//	label:                     ; define a code label
+//	addq   r1, r2, r3          ; rc <- ra op rb
+//	addq   r1, #10, r3         ; 8-bit literal second operand
+//	lda    r2, 16(r30)         ; address calculation
+//	ldq    r4, 8(r2)           ; loads/stores use disp(base)
+//	stq    r4, 0(r2)
+//	beq    r1, target          ; conditional branches name a label
+//	br     done                ; unconditional; link register optional: br r26, f
+//	jsr    r26, (r4)           ; indirect jump through a register
+//	ret    (r26)
+//	halt / nop
+//
+// Directives:
+//
+//	.data name size            ; allocate a zeroed RW data segment
+//	.quad name offset value    ; patch a 64-bit constant into a segment
+//	.base rN name              ; materialise a segment's base address in rN
+//	.imm  rN value             ; materialise a 64-bit immediate in rN
+//
+// Register names: r0..r31, plus aliases zero (r31), sp (r30), ra (r26).
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Assemble parses source and returns a linked program named name.
+func Assemble(name, source string) (*workload.Program, error) {
+	a := &assembler{
+		b:        workload.NewBuilder(name),
+		segments: make(map[string]segment),
+	}
+	for i, raw := range strings.Split(source, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := a.statement(line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", i+1, err)
+		}
+	}
+	for _, p := range a.pendingQuads {
+		seg, ok := a.segments[p.seg]
+		if !ok {
+			return nil, fmt.Errorf("asm: .quad into unknown segment %q", p.seg)
+		}
+		if p.off+8 > uint64(len(seg.data)) {
+			return nil, fmt.Errorf("asm: .quad offset %d outside segment %q", p.off, p.seg)
+		}
+		binary.LittleEndian.PutUint64(seg.data[p.off:], p.val)
+	}
+	return a.b.Build()
+}
+
+// MustAssemble is Assemble for programs embedded in tests and examples; it
+// panics on error.
+func MustAssemble(name, source string) *workload.Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type segment struct {
+	base uint64
+	data []byte
+}
+
+type quadPatch struct {
+	seg string
+	off uint64
+	val uint64
+}
+
+type assembler struct {
+	b            *workload.Builder
+	segments     map[string]segment
+	pendingQuads []quadPatch
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "#") {
+		return "" // whole-line comment; '#' elsewhere means a literal
+	}
+	return line
+}
+
+func (a *assembler) statement(line string) error {
+	if strings.HasSuffix(line, ":") {
+		label := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+		if label == "" {
+			return fmt.Errorf("empty label")
+		}
+		a.b.Label(label)
+		return nil
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+
+	mnemonic, rest := splitMnemonic(line)
+	ops := splitOperands(rest)
+	return a.instruction(strings.ToLower(mnemonic), ops)
+}
+
+func splitMnemonic(line string) (string, string) {
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return line[:i], strings.TrimSpace(line[i+1:])
+	}
+	return line, ""
+}
+
+func splitOperands(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".data":
+		if len(fields) != 3 {
+			return fmt.Errorf(".data wants: .data name size")
+		}
+		size, err := parseUint(fields[2])
+		if err != nil {
+			return err
+		}
+		data := make([]byte, size)
+		base := a.b.AllocData(fields[1], data, mem.PermRW)
+		a.segments[fields[1]] = segment{base: base, data: data}
+		return nil
+	case ".quad":
+		if len(fields) != 4 {
+			return fmt.Errorf(".quad wants: .quad segment offset value")
+		}
+		off, err := parseUint(fields[2])
+		if err != nil {
+			return err
+		}
+		val, err := parseUint(fields[3])
+		if err != nil {
+			return err
+		}
+		a.pendingQuads = append(a.pendingQuads, quadPatch{seg: fields[1], off: off, val: val})
+		return nil
+	case ".base":
+		if len(fields) != 3 {
+			return fmt.Errorf(".base wants: .base rN segment")
+		}
+		r, err := parseReg(fields[1])
+		if err != nil {
+			return err
+		}
+		seg, ok := a.segments[fields[2]]
+		if !ok {
+			return fmt.Errorf("unknown segment %q", fields[2])
+		}
+		a.b.LoadImm(r, seg.base)
+		return nil
+	case ".imm":
+		if len(fields) != 3 {
+			return fmt.Errorf(".imm wants: .imm rN value")
+		}
+		r, err := parseReg(fields[1])
+		if err != nil {
+			return err
+		}
+		val, err := parseUint(fields[2])
+		if err != nil {
+			return err
+		}
+		a.b.LoadImm(r, val)
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", fields[0])
+}
+
+var operateOps = map[string]isa.Op{
+	"addq": isa.OpADDQ, "subq": isa.OpSUBQ, "mulq": isa.OpMULQ,
+	"addl": isa.OpADDL, "subl": isa.OpSUBL,
+	"addqv": isa.OpADDQV, "subqv": isa.OpSUBQV, "mulqv": isa.OpMULQV,
+	"cmpeq": isa.OpCMPEQ, "cmplt": isa.OpCMPLT, "cmple": isa.OpCMPLE,
+	"cmpult": isa.OpCMPULT, "cmpule": isa.OpCMPULE,
+	"and": isa.OpAND, "bis": isa.OpBIS, "or": isa.OpBIS,
+	"xor": isa.OpXOR, "bic": isa.OpBIC, "ornot": isa.OpORNOT,
+	"sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+	"cmoveq": isa.OpCMOVEQ, "cmovne": isa.OpCMOVNE,
+}
+
+var memOps = map[string]isa.Op{
+	"ldq": isa.OpLDQ, "ldl": isa.OpLDL,
+	"stq": isa.OpSTQ, "stl": isa.OpSTL,
+	"lda": isa.OpLDA, "ldah": isa.OpLDAH,
+}
+
+var condBranchOps = map[string]isa.Op{
+	"beq": isa.OpBEQ, "bne": isa.OpBNE, "blt": isa.OpBLT,
+	"ble": isa.OpBLE, "bgt": isa.OpBGT, "bge": isa.OpBGE,
+}
+
+func (a *assembler) instruction(mn string, ops []string) error {
+	switch {
+	case mn == "nop":
+		a.b.Nop()
+		return nil
+	case mn == "halt":
+		a.b.Emit(isa.Inst{Op: isa.OpHALT})
+		return nil
+	}
+
+	if op, ok := operateOps[mn]; ok {
+		return a.operate(op, ops)
+	}
+	if op, ok := memOps[mn]; ok {
+		return a.memory(op, ops)
+	}
+	if op, ok := condBranchOps[mn]; ok {
+		if len(ops) != 2 {
+			return fmt.Errorf("%s wants: %s rN, label", mn, mn)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.b.Branch(op, r, ops[1])
+		return nil
+	}
+
+	switch mn {
+	case "br", "bsr":
+		op := isa.OpBR
+		if mn == "bsr" {
+			op = isa.OpBSR
+		}
+		switch len(ops) {
+		case 1: // br label
+			link := isa.RegZero
+			if mn == "bsr" {
+				link = isa.RegRA
+			}
+			a.b.Branch(op, link, ops[0])
+			return nil
+		case 2: // br r26, label
+			r, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			a.b.Branch(op, r, ops[1])
+			return nil
+		}
+		return fmt.Errorf("%s wants: %s [rN,] label", mn, mn)
+	case "jmp", "jsr":
+		op := isa.OpJMP
+		if mn == "jsr" {
+			op = isa.OpJSR
+		}
+		link, target := isa.RegZero, ""
+		switch len(ops) {
+		case 1:
+			target = ops[0]
+			if mn == "jsr" {
+				link = isa.RegRA
+			}
+		case 2:
+			r, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			link = r
+			target = ops[1]
+		default:
+			return fmt.Errorf("%s wants: %s [rN,] (rM)", mn, mn)
+		}
+		rb, err := parseIndirect(target)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Inst{Op: op, Rc: link, Rb: rb})
+		return nil
+	case "ret":
+		rb := isa.RegRA
+		if len(ops) == 1 {
+			r, err := parseIndirect(ops[0])
+			if err != nil {
+				return err
+			}
+			rb = r
+		} else if len(ops) != 0 {
+			return fmt.Errorf("ret wants: ret [(rN)]")
+		}
+		a.b.Emit(isa.Inst{Op: isa.OpRET, Rb: rb, Rc: isa.RegZero})
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+func (a *assembler) operate(op isa.Op, ops []string) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("%v wants: op ra, rb|#lit, rc", op)
+	}
+	ra, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rc, err := parseReg(ops[2])
+	if err != nil {
+		return err
+	}
+	if lit, ok := strings.CutPrefix(ops[1], "#"); ok {
+		v, err := parseUint(lit)
+		if err != nil {
+			return err
+		}
+		if v > 255 {
+			return fmt.Errorf("literal %d exceeds 8 bits (use .imm for large constants)", v)
+		}
+		a.b.OpLit(op, ra, uint8(v), rc)
+		return nil
+	}
+	rb, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	a.b.Op(op, ra, rb, rc)
+	return nil
+}
+
+func (a *assembler) memory(op isa.Op, ops []string) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("%v wants: op rN, disp(rM)", op)
+	}
+	r, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	disp, base, err := parseMemOperand(ops[1])
+	if err != nil {
+		return err
+	}
+	switch op {
+	case isa.OpSTQ, isa.OpSTL:
+		a.b.Store(op, r, disp, base)
+	case isa.OpLDA, isa.OpLDAH:
+		a.b.Emit(isa.Inst{Op: op, Ra: r, Rb: base, Disp: disp})
+	default:
+		a.b.Load(op, r, disp, base)
+	}
+	return nil
+}
+
+var regAliases = map[string]isa.Reg{
+	"zero": isa.RegZero,
+	"sp":   isa.RegSP,
+	"ra":   isa.RegRA,
+	"gp":   isa.RegGP,
+	"v0":   isa.RegV0,
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	num, ok := strings.CutPrefix(s, "r")
+	if !ok {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.ParseUint(num, 10, 8)
+	if err != nil || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// parseIndirect parses "(rN)" or "rN".
+func parseIndirect(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "("), ")")
+	return parseReg(s)
+}
+
+// parseMemOperand parses "disp(rN)" with optional, possibly negative disp.
+func parseMemOperand(s string) (int32, isa.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.LastIndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want disp(rN))", s)
+	}
+	base, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr == "" {
+		return 0, base, nil
+	}
+	d, err := strconv.ParseInt(dispStr, 0, 32)
+	if err != nil || d < -(1<<15) || d >= 1<<15 {
+		return 0, 0, fmt.Errorf("bad displacement %q", dispStr)
+	}
+	return int32(d), base, nil
+}
+
+func parseUint(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,221 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+// runProgram executes an assembled program on the architectural simulator
+// until halt, returning the simulator.
+func runProgram(t *testing.T, p *workload.Program, maxInsts uint64) *arch.Sim {
+	t.Helper()
+	m, err := p.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := arch.New(m, p.Entry)
+	_, last, err := s.Run(maxInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Exception != arch.ExcNone {
+		t.Fatalf("exception %v at %#x", last.Exception, last.PC)
+	}
+	if !last.Halted {
+		t.Fatal("program did not halt")
+	}
+	return s
+}
+
+func TestArithmeticAndLiterals(t *testing.T) {
+	p := MustAssemble("t", `
+		addq zero, #10, r1     // r1 = 10
+		addq zero, #3, r2
+		mulq r1, r2, r3        ; r3 = 30
+		subq r3, #5, r4        ; r4 = 25
+		sll  r4, #2, r5        ; r5 = 100
+		sra  r5, #1, r6        ; 50
+		halt
+	`)
+	s := runProgram(t, p, 100)
+	want := map[int]uint64{1: 10, 2: 3, 3: 30, 4: 25, 5: 100, 6: 50}
+	for r, v := range want {
+		if s.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, s.Regs[r], v)
+		}
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	p := MustAssemble("t", `
+		.imm r1 5
+	loop:
+		addq r2, r1, r2
+		subq r1, #1, r1
+		bgt  r1, loop
+		halt
+	`)
+	s := runProgram(t, p, 1000)
+	if s.Regs[2] != 15 {
+		t.Errorf("sum = %d, want 15", s.Regs[2])
+	}
+}
+
+func TestDataSegmentLoadsStores(t *testing.T) {
+	p := MustAssemble("t", `
+		.data buf 256
+		.quad buf 8 12345
+		.base r10 buf
+		ldq  r1, 8(r10)
+		addq r1, #1, r1
+		stq  r1, 16(r10)
+		ldl  r2, 16(r10)
+		stl  r2, 24(r10)
+		halt
+	`)
+	s := runProgram(t, p, 1000)
+	if s.Regs[1] != 12346 || s.Regs[2] != 12346 {
+		t.Errorf("r1=%d r2=%d, want 12346", s.Regs[1], s.Regs[2])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	p := MustAssemble("t", `
+		bsr  func
+		halt
+	func:
+		addq zero, #7, r1
+		ret
+	`)
+	s := runProgram(t, p, 100)
+	if s.Regs[1] != 7 {
+		t.Errorf("r1 = %d", s.Regs[1])
+	}
+}
+
+func TestIndirectJumps(t *testing.T) {
+	p := MustAssemble("t", `
+		.data tbl 64
+		.base r10 tbl
+		bsr  helper           ; warms r4 with the return path
+		halt
+	helper:
+		bis  ra, ra, r4       ; save the link
+		jsr  r26, (r4)        ; jump back through it, relinking r26
+	`)
+	// The jsr jumps to the instruction after bsr (halt), so this program
+	// halts; r4 holds the original link.
+	s := runProgram(t, p, 100)
+	if s.Regs[4] == 0 {
+		t.Error("link register value lost")
+	}
+}
+
+func TestRetThroughExplicitRegister(t *testing.T) {
+	p := MustAssemble("t", `
+		bsr  r20, func
+		halt
+	func:
+		addq zero, #9, r1
+		ret  (r20)
+	`)
+	s := runProgram(t, p, 100)
+	if s.Regs[1] != 9 {
+		t.Errorf("r1 = %d", s.Regs[1])
+	}
+}
+
+func TestNegativeDisplacement(t *testing.T) {
+	p := MustAssemble("t", `
+		.data buf 128
+		.base r10 buf
+		lda  r11, 64(r10)
+		addq zero, #42, r1
+		stq  r1, -8(r11)
+		ldq  r2, 56(r10)
+		halt
+	`)
+	s := runProgram(t, p, 100)
+	if s.Regs[2] != 42 {
+		t.Errorf("r2 = %d, want 42", s.Regs[2])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := MustAssemble("t", `
+		# full line comment
+
+		addq zero, #1, r1  ; trailing
+		halt               // another
+	`)
+	s := runProgram(t, p, 10)
+	if s.Regs[1] != 1 {
+		t.Error("comment handling broke parsing")
+	}
+}
+
+func TestAliases(t *testing.T) {
+	p := MustAssemble("t", `
+		.imm sp 0x7fff0000
+		addq sp, #8, r1
+		bis  zero, zero, v0
+		halt
+	`)
+	s := runProgram(t, p, 100)
+	if s.Regs[30] != 0x7fff0000 || s.Regs[1] != 0x7fff0008 {
+		t.Errorf("sp=%#x r1=%#x", s.Regs[30], s.Regs[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		src    string
+		substr string
+	}{
+		{"unknown mnemonic", "frobnicate r1, r2, r3", "unknown mnemonic"},
+		{"bad register", "addq r99, r1, r2", "bad register"},
+		{"big literal", "addq r1, #300, r2", "exceeds 8 bits"},
+		{"bad mem operand", "ldq r1, r2", "memory operand"},
+		{"bad displacement", "ldq r1, 99999(r2)", "bad displacement"},
+		{"empty label", ":", "empty label"},
+		{"unknown directive", ".bss x 10", "unknown directive"},
+		{"quad into unknown segment", ".quad nosuch 0 1", "unknown segment"},
+		{"quad outside segment", ".data d 8\n.quad d 8 1", "outside segment"},
+		{"base of unknown segment", ".base r1 nosuch", "unknown segment"},
+		{"undefined branch label", "beq r1, nowhere", "undefined label"},
+		{"operate arity", "addq r1, r2", "wants"},
+		{"branch arity", "beq r1", "wants"},
+		{"bad number", ".imm r1 zz", "bad number"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble("t", tt.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tt.src)
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	_, err := Assemble("t", "nop\nnop\nbogus r1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v should name line 3", err)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("t", "bogus")
+}

@@ -1,0 +1,35 @@
+package asm_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+)
+
+// Assemble a small program, run it on the architectural simulator, and read
+// a register back.
+func ExampleAssemble() {
+	prog, err := asm.Assemble("triangle", `
+		.imm r1 10        ; n
+	loop:
+		addq r2, r1, r2   ; sum += n
+		subq r1, #1, r1
+		bgt  r1, loop
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := prog.NewMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := arch.New(m, prog.Entry)
+	if _, _, err := sim.Run(1000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sum(1..10) =", sim.Regs[2])
+	// Output: sum(1..10) = 55
+}

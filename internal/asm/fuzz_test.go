@@ -1,0 +1,17 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble drives arbitrary text through the assembler: inputs either
+// assemble or return an error, never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add("addq r1, r2, r3\nhalt\n")
+	f.Add(".data d 64\n.base r10 d\nldq r1, 0(r10)\nhalt")
+	f.Add("loop:\n subq r1, #1, r1\n bgt r1, loop\n")
+	f.Add(".imm r5 0xdeadbeef")
+	f.Add("; comment only")
+	f.Add("bogus stuff ( here")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Assemble("fuzz", src)
+	})
+}

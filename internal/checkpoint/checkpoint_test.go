@@ -1,0 +1,206 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func newMem(t *testing.T) *mem.Memory {
+	t.Helper()
+	m := mem.New()
+	m.Map(0, 4*mem.PageSize, mem.PermRW)
+	return m
+}
+
+func TestCreateAndRestoreOldest(t *testing.T) {
+	m := newMem(t)
+	s := NewStore(m, 2)
+
+	var regs [32]uint64
+	regs[1] = 100
+	if err := m.WriteQ(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Create(regs, 0x1000, 500)
+
+	if err := m.WriteQ(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	regs[1] = 200
+	s.Create(regs, 0x2000, 600)
+
+	if err := m.WriteQ(0, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := s.RestoreOldest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PC != 0x1000 || cp.Regs[1] != 100 || cp.Retired != 500 {
+		t.Errorf("restored wrong checkpoint: %+v", cp)
+	}
+	if v, _ := m.ReadQ(0); v != 1 {
+		t.Errorf("memory not unwound: %d", v)
+	}
+	if s.Len() != 0 {
+		t.Errorf("checkpoints remain after restore: %d", s.Len())
+	}
+}
+
+func TestCapacityRetiresOldest(t *testing.T) {
+	m := newMem(t)
+	s := NewStore(m, 2)
+	var regs [32]uint64
+
+	if err := m.WriteQ(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Create(regs, 0x100, 1)
+	if err := m.WriteQ(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Create(regs, 0x200, 2)
+	if err := m.WriteQ(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	s.Create(regs, 0x300, 3) // retires the 0x100 checkpoint
+
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	cp, err := s.RestoreOldest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PC != 0x200 {
+		t.Errorf("oldest pc = %#x, want 0x200", cp.PC)
+	}
+	// Memory must unwind to the state at checkpoint 0x200 (value 2), and
+	// the retired checkpoint's state (value 1) must be unreachable.
+	if v, _ := m.ReadQ(0); v != 2 {
+		t.Errorf("memory = %d, want 2", v)
+	}
+}
+
+func TestMarkRebaseAfterRetirement(t *testing.T) {
+	// Regression: retiring the oldest checkpoint compacts the journal;
+	// surviving marks must be rebased or restores will unwind the wrong
+	// distance.
+	m := newMem(t)
+	s := NewStore(m, 2)
+	var regs [32]uint64
+
+	for i := uint64(1); i <= 6; i++ {
+		if err := m.WriteQ(8, i*10); err != nil {
+			t.Fatal(err)
+		}
+		s.Create(regs, 0x100*i, i)
+	}
+	// Live checkpoints: i=5 (mem=50) and i=6 (mem=60).
+	cp, err := s.RestoreOldest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PC != 0x500 {
+		t.Fatalf("oldest pc = %#x", cp.PC)
+	}
+	if v, _ := m.ReadQ(8); v != 50 {
+		t.Errorf("memory = %d, want 50", v)
+	}
+}
+
+func TestRestoreNewest(t *testing.T) {
+	m := newMem(t)
+	s := NewStore(m, 2)
+	var regs [32]uint64
+
+	s.Create(regs, 0x100, 1)
+	if err := m.WriteQ(16, 7); err != nil {
+		t.Fatal(err)
+	}
+	regs[2] = 9
+	s.Create(regs, 0x200, 2)
+	if err := m.WriteQ(16, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := s.RestoreNewest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PC != 0x200 || cp.Regs[2] != 9 {
+		t.Errorf("restored %+v", cp)
+	}
+	if v, _ := m.ReadQ(16); v != 7 {
+		t.Errorf("memory = %d, want 7", v)
+	}
+	// The older checkpoint is still live.
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestEmptyStoreErrors(t *testing.T) {
+	s := NewStore(newMem(t), 2)
+	if _, err := s.RestoreOldest(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("RestoreOldest on empty = %v", err)
+	}
+	if _, err := s.RestoreNewest(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("RestoreNewest on empty = %v", err)
+	}
+	if _, ok := s.Oldest(); ok {
+		t.Error("Oldest on empty store succeeded")
+	}
+	if _, ok := s.Newest(); ok {
+		t.Error("Newest on empty store succeeded")
+	}
+}
+
+func TestClearMakesStatePermanent(t *testing.T) {
+	m := newMem(t)
+	s := NewStore(m, 2)
+	var regs [32]uint64
+	s.Create(regs, 0x100, 1)
+	if err := m.WriteQ(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("clear left checkpoints")
+	}
+	if m.JournalLen() != 0 {
+		t.Error("clear left journal records")
+	}
+	if v, _ := m.ReadQ(0); v != 42 {
+		t.Error("clear rolled back state")
+	}
+}
+
+func TestOldestNewestAccessors(t *testing.T) {
+	m := newMem(t)
+	s := NewStore(m, 3)
+	var regs [32]uint64
+	s.Create(regs, 0x100, 1)
+	s.Create(regs, 0x200, 2)
+	old, ok := s.Oldest()
+	if !ok || old.PC != 0x100 {
+		t.Errorf("oldest = %+v, %v", old, ok)
+	}
+	newest, ok := s.Newest()
+	if !ok || newest.PC != 0x200 {
+		t.Errorf("newest = %+v, %v", newest, ok)
+	}
+	if s.Capacity() != 3 {
+		t.Errorf("capacity = %d", s.Capacity())
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	s := NewStore(newMem(t), 0)
+	if s.Capacity() != 1 {
+		t.Errorf("capacity = %d, want clamped to 1", s.Capacity())
+	}
+}

@@ -1,0 +1,275 @@
+// Package dmr implements the comparison point the paper positions ReStore
+// against: full execution replication (Section 1's IBM S/390 G5 example and
+// the "full-time redundancy" schemes of Section 6 — AR-SMT, SRT, lockstepped
+// cores).
+//
+// A dmr.Core runs two identical pipelines and compares every committed
+// instruction. Any disagreement — register result, store, control flow,
+// exception — is a detected error, caught at retirement with essentially
+// zero latency, and recovered by rolling both cores back to a shared
+// checkpoint. Coverage is maximal; the cost is a doubled execution core,
+// which is exactly the trade ReStore's "redundancy on demand" avoids.
+package dmr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/checkpoint"
+	"repro/internal/pipeline"
+)
+
+// Config parameterises the DMR pair.
+type Config struct {
+	// Interval is the instruction distance between shared checkpoints
+	// (default 100, matching the ReStore evaluation).
+	Interval uint64
+	// MaxRecoveries bounds rollbacks for the same divergence before the
+	// error is declared uncorrectable (default 3; a persistent fault
+	// keeps diverging).
+	MaxRecoveries int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Interval == 0 {
+		c.Interval = 100
+	}
+	if c.MaxRecoveries == 0 {
+		c.MaxRecoveries = 3
+	}
+}
+
+// Report accumulates DMR activity.
+type Report struct {
+	Retired        uint64
+	Cycles         uint64 // per-core cycles (the cores run in parallel)
+	Checkpoints    uint64
+	DetectedErrors uint64
+	Rollbacks      uint64
+}
+
+// ErrUncorrectable reports a divergence that persisted through rollback —
+// with a single-bit-flip fault model this indicates corruption older than
+// the checkpoint horizon.
+var ErrUncorrectable = errors.New("dmr: persistent divergence")
+
+// Core is a pair of lockstepped pipelines with commit comparison.
+type Core struct {
+	cfg    Config
+	main   *pipeline.Pipeline
+	shadow *pipeline.Pipeline
+
+	mainCP   *checkpoint.Store
+	shadowCP *checkpoint.Store
+
+	mainEvents   []pipeline.CommitEvent
+	shadowEvents []pipeline.CommitEvent
+
+	archIndex  uint64
+	lastNextPC uint64
+	sinceCP    uint64
+	halted     bool
+	mismatch   bool
+	recoveries int
+
+	report Report
+}
+
+// New builds a DMR pair from a freshly constructed pipeline. The shadow
+// core is a clone, so both start bit-identical.
+func New(main *pipeline.Pipeline, cfg Config) *Core {
+	cfg.applyDefaults()
+	c := &Core{
+		cfg:        cfg,
+		main:       main,
+		shadow:     main.Clone(),
+		lastNextPC: main.CommitPC(),
+	}
+	c.mainCP = checkpoint.NewStore(c.main.Memory(), 2)
+	c.shadowCP = checkpoint.NewStore(c.shadow.Memory(), 2)
+	c.main.CommitHook = func(ev pipeline.CommitEvent) {
+		c.mainEvents = append(c.mainEvents, ev)
+	}
+	c.shadow.CommitHook = func(ev pipeline.CommitEvent) {
+		c.shadowEvents = append(c.shadowEvents, ev)
+	}
+	c.createCheckpoint()
+	return c
+}
+
+// Main exposes the primary pipeline (the fault-injection target in tests
+// and examples).
+func (c *Core) Main() *pipeline.Pipeline { return c.main }
+
+// Shadow exposes the redundant pipeline.
+func (c *Core) Shadow() *pipeline.Pipeline { return c.shadow }
+
+// MainCommitted returns the main core's architectural position: cross-
+// checked commits plus those still queued for comparison. Tests compare
+// golden state at this count, since the pipeline's registers reflect every
+// commit it has made, not just the cross-checked ones.
+func (c *Core) MainCommitted() uint64 {
+	return c.archIndex + uint64(len(c.mainEvents))
+}
+
+// Report returns the activity counters.
+func (c *Core) Report() Report {
+	r := c.report
+	r.Retired = c.archIndex
+	r.Cycles = c.main.Cycles()
+	return r
+}
+
+func (c *Core) createCheckpoint() {
+	c.mainCP.Create(c.main.ArchRegs(), c.lastNextPC, c.archIndex)
+	c.shadowCP.Create(c.shadow.ArchRegs(), c.lastNextPC, c.archIndex)
+	c.report.Checkpoints++
+	c.sinceCP = 0
+	// A full clean interval means any prior divergence was transient.
+	c.recoveries = 0
+}
+
+// eventsEqual compares the architectural content of two commit events.
+func eventsEqual(a, b pipeline.CommitEvent) bool {
+	if a.Inst != b.Inst || a.Exception != b.Exception || a.Halted != b.Halted {
+		return false
+	}
+	if a.HasDest != b.HasDest || (a.HasDest && (a.DestArch != b.DestArch || a.DestVal != b.DestVal)) {
+		return false
+	}
+	if a.IsStore != b.IsStore || (a.IsStore && (a.MemAddr != b.MemAddr || a.StoreVal != b.StoreVal)) {
+		return false
+	}
+	if a.IsBranch != b.IsBranch || (a.IsBranch && (a.Taken != b.Taken || a.Target != b.Target)) {
+		return false
+	}
+	return true
+}
+
+// step advances both cores one cycle each and cross-checks any commit pairs
+// that are now available.
+func (c *Core) step() error {
+	c.main.Cycle()
+	c.shadow.Cycle()
+
+	// Let a lagging core catch up a bounded number of cycles so the
+	// comparison queues stay short (cores drift when a fault perturbs
+	// timing).
+	for i := 0; i < 4 && len(c.shadowEvents) < len(c.mainEvents) &&
+		c.shadow.Status() == pipeline.StatusRunning; i++ {
+		c.shadow.Cycle()
+	}
+	for i := 0; i < 4 && len(c.mainEvents) < len(c.shadowEvents) &&
+		c.main.Status() == pipeline.StatusRunning; i++ {
+		c.main.Cycle()
+	}
+
+	n := min(len(c.mainEvents), len(c.shadowEvents))
+	for i := 0; i < n; i++ {
+		mev, sev := c.mainEvents[i], c.shadowEvents[i]
+		if !eventsEqual(mev, sev) {
+			c.mismatch = true
+			c.report.DetectedErrors++
+			return c.recover()
+		}
+		if mev.Exception != arch.ExcNone {
+			// Both cores agree on the exception: architecturally
+			// genuine. Surface it.
+			return fmt.Errorf("dmr: genuine exception %v at %#x", mev.Exception, mev.PC)
+		}
+		c.archIndex++
+		c.sinceCP++
+		c.lastNextPC = mev.Target
+		if mev.Halted {
+			c.halted = true
+			return nil
+		}
+		if c.sinceCP >= c.cfg.Interval {
+			// Trim consumed events before snapshotting.
+			c.consumeEvents(i + 1)
+			c.createCheckpoint()
+			return nil
+		}
+	}
+	c.consumeEvents(n)
+
+	// A deadlocked or excepted core that its twin disagrees with
+	// timing-wise also counts as divergence.
+	ms, ss := c.main.Status(), c.shadow.Status()
+	if ms != pipeline.StatusRunning || ss != pipeline.StatusRunning {
+		if ms == pipeline.StatusHalted && ss == pipeline.StatusHalted {
+			c.halted = true
+			return nil
+		}
+		c.mismatch = true
+		c.report.DetectedErrors++
+		return c.recover()
+	}
+	return nil
+}
+
+func (c *Core) consumeEvents(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mainEvents = append(c.mainEvents[:0], c.mainEvents[n:]...)
+	c.shadowEvents = append(c.shadowEvents[:0], c.shadowEvents[n:]...)
+}
+
+// recover rolls both cores back to the shared oldest checkpoint.
+func (c *Core) recover() error {
+	c.recoveries++
+	if c.recoveries > c.cfg.MaxRecoveries {
+		return ErrUncorrectable
+	}
+	mcp, err := c.mainCP.RestoreOldest()
+	if err != nil {
+		return fmt.Errorf("dmr recover: %w", err)
+	}
+	scp, err := c.shadowCP.RestoreOldest()
+	if err != nil {
+		return fmt.Errorf("dmr recover: %w", err)
+	}
+	c.main.Reset(mcp.Regs, mcp.PC)
+	c.shadow.Reset(scp.Regs, scp.PC)
+	c.archIndex = mcp.Retired
+	c.lastNextPC = mcp.PC
+	c.mainEvents = c.mainEvents[:0]
+	c.shadowEvents = c.shadowEvents[:0]
+	c.report.Rollbacks++
+	c.mainCP.Create(mcp.Regs, mcp.PC, mcp.Retired)
+	c.shadowCP.Create(scp.Regs, scp.PC, scp.Retired)
+	c.report.Checkpoints++
+	c.sinceCP = 0
+	c.mismatch = false
+	return nil
+}
+
+// Run executes until n instructions have committed and cross-checked, the
+// program halts, or an unrecoverable condition arises.
+func (c *Core) Run(n, maxCycles uint64) (Report, error) {
+	budget := c.main.Cycles() + maxCycles
+	prevIdx, stall := c.archIndex, uint64(0)
+	for c.archIndex < n && !c.halted {
+		if c.main.Cycles() >= budget {
+			return c.Report(), fmt.Errorf("dmr: cycle budget exhausted at %d instructions", c.archIndex)
+		}
+		if err := c.step(); err != nil {
+			return c.Report(), err
+		}
+		// Forward-progress guard: if the pair stops committing (e.g. a
+		// fault wedges one core without tripping its watchdog yet),
+		// the per-core watchdogs will eventually fire and the status
+		// divergence path recovers; this guard only bounds the wait.
+		if c.archIndex == prevIdx {
+			stall++
+			if stall > 100_000 {
+				return c.Report(), ErrUncorrectable
+			}
+		} else {
+			prevIdx, stall = c.archIndex, 0
+		}
+	}
+	return c.Report(), nil
+}

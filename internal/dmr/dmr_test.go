@@ -1,0 +1,222 @@
+package dmr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func newCore(t *testing.T, bench workload.Benchmark, cfg Config) (*Core, *workload.Program) {
+	t.Helper()
+	prog := workload.MustGenerate(bench, workload.Config{Seed: 21, Scale: 0.5})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(pipe, cfg), prog
+}
+
+func goldenRegs(t *testing.T, prog *workload.Program, n uint64) [32]uint64 {
+	t.Helper()
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := arch.New(m, prog.Entry)
+	if _, last, err := g.Run(n); err != nil || last.Exception != arch.ExcNone {
+		t.Fatalf("golden run failed: %v %v", err, last.Exception)
+	}
+	return g.Regs
+}
+
+func TestFaultFreeLockstep(t *testing.T) {
+	core, prog := newCore(t, workload.Gzip, Config{})
+	rep, err := core.Run(20_000, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectedErrors != 0 || rep.Rollbacks != 0 {
+		t.Errorf("fault-free divergences: %+v", rep)
+	}
+	if rep.Retired < 20_000 {
+		t.Errorf("retired %d", rep.Retired)
+	}
+	want := goldenRegs(t, prog, core.MainCommitted())
+	if core.Main().ArchRegs() != want {
+		t.Error("main core diverged from golden")
+	}
+}
+
+// liveRegLoop is a program in which r10 (a pointer) and r3 (an accumulator
+// that feeds a store every iteration) stay architecturally live and are
+// never renamed away, so corrupting either is guaranteed to surface.
+func liveRegLoop(t *testing.T) *workload.Program {
+	t.Helper()
+	return asm.MustAssemble("liveloop", `
+		.data buf 4096
+		.base r10 buf
+	loop:
+		ldq  r2, 0(r10)
+		addq r3, r2, r3
+		stq  r3, 8(r10)
+		xor  r3, r2, r4
+		srl  r4, #3, r5
+		br   loop
+	`)
+}
+
+func newLiveCore(t *testing.T) (*Core, *workload.Program) {
+	t.Helper()
+	prog := liveRegLoop(t)
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(pipe, Config{}), prog
+}
+
+func TestDetectsAndRecoversInjectedFault(t *testing.T) {
+	core, prog := newLiveCore(t)
+	if _, err := core.Run(5_000, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a low bit of the live pointer in the MAIN core only: loads
+	// now read a different (still mapped) location, the accumulator
+	// diverges, and the next store commit disagrees with the shadow's.
+	core.Main().CorruptArchReg(10, 4)
+
+	rep, err := core.Run(25_000, 4_000_000)
+	if err != nil {
+		t.Fatalf("unrecovered: %v (%+v)", err, rep)
+	}
+	if rep.DetectedErrors == 0 || rep.Rollbacks == 0 {
+		t.Fatalf("live corruption not detected: %+v", rep)
+	}
+	want := goldenRegs(t, prog, core.MainCommitted())
+	if core.Main().ArchRegs() != want {
+		t.Fatal("main state corrupt after DMR recovery")
+	}
+	t.Logf("detected=%d rollbacks=%d", rep.DetectedErrors, rep.Rollbacks)
+}
+
+func TestDetectsWildPointerBeforeCommitDamage(t *testing.T) {
+	core, prog := newLiveCore(t)
+	if _, err := core.Run(5_000, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// High-bit pointer corruption: in a bare pipeline this raises an
+	// access fault; under DMR the exception-vs-normal commit pair is a
+	// divergence, recovered like any other.
+	core.Main().CorruptArchReg(10, 45)
+	rep, err := core.Run(25_000, 4_000_000)
+	if err != nil {
+		t.Fatalf("unrecovered: %v", err)
+	}
+	if rep.DetectedErrors == 0 {
+		t.Fatalf("wild pointer not detected: %+v", rep)
+	}
+	want := goldenRegs(t, prog, core.MainCommitted())
+	if core.Main().ArchRegs() != want {
+		t.Error("state corrupt after recovery")
+	}
+	t.Logf("detected=%d rollbacks=%d", rep.DetectedErrors, rep.Rollbacks)
+}
+
+func TestRandomFlipCoverage(t *testing.T) {
+	// DMR's selling point: ANY fault that architecturally diverges is
+	// detected at commit. Sweep random flips and verify every completed
+	// run ends on the golden path.
+	rng := rand.New(rand.NewSource(4))
+	const trials = 15
+	detected, cleanRuns := 0, 0
+	for i := 0; i < trials; i++ {
+		core, prog := newCore(t, workload.Gzip, Config{})
+		if _, err := core.Run(3_000, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		space := core.Main().State()
+		ref, _ := space.NthBit(uint64(rng.Int63n(int64(space.TotalBits(false)))))
+		space.Flip(ref)
+
+		rep, err := core.Run(13_000, 8_000_000)
+		if err != nil {
+			// Persistent divergence is possible if the flip landed in
+			// state older than the checkpoint horizon; rare.
+			t.Logf("trial %d: %v", i, err)
+			continue
+		}
+		detected += int(rep.DetectedErrors)
+		if core.Main().ArchRegs() == goldenRegs(t, prog, core.MainCommitted()) {
+			cleanRuns++
+		}
+	}
+	t.Logf("%d/%d clean completions, %d detections", cleanRuns, trials, detected)
+	if cleanRuns < trials*8/10 {
+		t.Errorf("only %d/%d runs ended clean under DMR", cleanRuns, trials)
+	}
+}
+
+func TestGenuineExceptionSurfaces(t *testing.T) {
+	// A program whose main path truly faults: both cores raise the same
+	// exception, so DMR reports it as genuine instead of diverging.
+	prog := asm.MustAssemble("genuine", `
+		.imm r1 0x100000000000
+		ldq  r2, 0(r1)        ; architecturally reachable wild load
+		halt
+	`)
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := New(pipe, Config{})
+	rep, err := core.Run(1_000, 100_000)
+	if err == nil {
+		t.Fatalf("genuine exception not surfaced: %+v", rep)
+	}
+	if rep.Rollbacks != 0 {
+		t.Errorf("agreed exception should not trigger recovery: %+v", rep)
+	}
+}
+
+func TestHaltStopsBothCores(t *testing.T) {
+	prog := asm.MustAssemble("halts", `
+		.imm r1 200
+	loop:
+		subq r1, #1, r1
+		bgt  r1, loop
+		halt
+	`)
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := New(pipe, Config{})
+	rep, err := core.Run(1_000_000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retired >= 1_000_000 || rep.DetectedErrors != 0 {
+		t.Errorf("halt handling wrong: %+v", rep)
+	}
+}

@@ -1,0 +1,32 @@
+package fit_test
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+)
+
+// Reproduce the paper's headline MTBF arithmetic from its reported failure
+// fractions.
+func ExamplePaperModel() {
+	m := fit.PaperModel()
+	fmt.Printf("ReStore MTBF gain:     %.0fx\n", m.MTBFImprovement(fit.ReStore))
+	fmt.Printf("lhf+ReStore MTBF gain: %.0fx\n", m.MTBFImprovement(fit.LHFReStore))
+	fmt.Printf("1000-year goal:        %.0f FIT\n", fit.GoalFIT(1000))
+	// Output:
+	// ReStore MTBF gain:     2x
+	// lhf+ReStore MTBF gain: 7x
+	// 1000-year goal:        114 FIT
+}
+
+// FIT rates scale linearly with design size; the paper's Figure 8 sweeps
+// doubling sizes.
+func ExampleModel_FIT() {
+	m := fit.PaperModel()
+	for _, bits := range []float64{50_000, 100_000} {
+		fmt.Printf("%.0f bits -> %.2f FIT (baseline)\n", bits, m.FIT(fit.Baseline, bits))
+	}
+	// Output:
+	// 50000 bits -> 3.50 FIT (baseline)
+	// 100000 bits -> 7.00 FIT (baseline)
+}

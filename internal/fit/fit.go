@@ -1,0 +1,142 @@
+// Package fit implements the reliability-scaling model of Section 5.3
+// (Figure 8): silent-data-corruption FIT rates as a function of design size
+// for the baseline pipeline, ReStore, the parity/ECC "low-hanging-fruit"
+// pipeline, and their combination.
+//
+// FIT (Failures In Time) counts failures per 10^9 device-hours. Following
+// the paper, the model assumes a raw soft-error rate of 0.001 FIT per bit of
+// storage [Hazucha & Svensson], scales linearly with design size, and holds
+// each configuration's masking/coverage constant as the design grows.
+package fit
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// RawFITPerBit is the widely accepted per-bit SRAM FIT estimate the paper
+// adopts (0.001 FIT/bit).
+const RawFITPerBit = 0.001
+
+// HoursPerYear converts MTBF between hours and years.
+const HoursPerYear = 8760.0
+
+// Variant names the processor configurations of Figure 8.
+type Variant string
+
+// Figure 8's four configurations.
+const (
+	Baseline   Variant = "baseline"
+	ReStore    Variant = "ReStore"
+	LHF        Variant = "lhf"
+	LHFReStore Variant = "lhf+ReStore"
+)
+
+// Variants returns the configurations in the figure's order.
+func Variants() []Variant { return []Variant{Baseline, ReStore, LHF, LHFReStore} }
+
+// Model holds the per-configuration failure fractions: the probability that
+// a raw bit upset becomes a silent data corruption. These come straight from
+// the microarchitectural campaigns (RawFailureRate / FailureRate).
+type Model struct {
+	// RawPerBit is the raw upset rate (default RawFITPerBit).
+	RawPerBit float64
+	// FailFrac maps each variant to its upset-to-failure probability.
+	FailFrac map[Variant]float64
+}
+
+// PaperModel returns a model populated with the paper's reported failure
+// fractions (Section 5.2.2): 7% baseline, 3.5% ReStore at a 100-instruction
+// interval, 3% lhf, 1% lhf+ReStore. Useful as a reference overlay next to
+// measured values.
+func PaperModel() Model {
+	return Model{
+		RawPerBit: RawFITPerBit,
+		FailFrac: map[Variant]float64{
+			Baseline:   0.07,
+			ReStore:    0.035,
+			LHF:        0.03,
+			LHFReStore: 0.01,
+		},
+	}
+}
+
+// FIT returns the silent-data-corruption FIT rate of a design with the
+// given number of vulnerable storage bits under a variant.
+func (m Model) FIT(v Variant, bits float64) float64 {
+	raw := m.RawPerBit
+	if raw == 0 {
+		raw = RawFITPerBit
+	}
+	return bits * raw * m.FailFrac[v]
+}
+
+// MTBFYears converts a FIT rate to mean time between failures in years.
+func MTBFYears(fit float64) float64 {
+	if fit <= 0 {
+		return math.Inf(1)
+	}
+	return 1e9 / fit / HoursPerYear
+}
+
+// GoalFIT returns the FIT rate corresponding to an MTBF goal in years; the
+// paper's 1000-year goal is ~115 FIT.
+func GoalFIT(years float64) float64 {
+	return 1e9 / (years * HoursPerYear)
+}
+
+// DefaultSizes returns Figure 8's x-axis: design sizes from 50k bits
+// (roughly the paper's 46k-bit "interesting state") doubling to 25.6M bits.
+func DefaultSizes() []float64 {
+	var sizes []float64
+	for s := 50_000.0; s <= 25_600_000; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// Sweep produces one FIT-vs-size series per variant.
+func (m Model) Sweep(sizes []float64) []stats.Series {
+	out := make([]stats.Series, 0, len(m.FailFrac))
+	for _, v := range Variants() {
+		if _, ok := m.FailFrac[v]; !ok {
+			continue
+		}
+		s := stats.Series{Name: string(v)}
+		for _, size := range sizes {
+			s.Add(size, m.FIT(v, size))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// MaxSizeMeetingGoal returns the largest design size (in bits) whose FIT
+// stays at or below the goal for a variant: the "how much bigger can the
+// design grow" question Figure 8 answers. The paper's observation that
+// lhf+ReStore matches the MTBF of a design 1/7th the size follows from the
+// ratio of these values across variants.
+func (m Model) MaxSizeMeetingGoal(v Variant, goalFIT float64) float64 {
+	raw := m.RawPerBit
+	if raw == 0 {
+		raw = RawFITPerBit
+	}
+	ff := m.FailFrac[v]
+	if ff <= 0 {
+		return math.Inf(1)
+	}
+	return goalFIT / (raw * ff)
+}
+
+// MTBFImprovement returns the factor by which a variant's mean time between
+// failures exceeds the baseline's at the same design size — the paper's
+// headline 2x (ReStore) and 7x (lhf+ReStore).
+func (m Model) MTBFImprovement(v Variant) float64 {
+	base := m.FailFrac[Baseline]
+	ff := m.FailFrac[v]
+	if ff <= 0 || base <= 0 {
+		return math.Inf(1)
+	}
+	return base / ff
+}

@@ -1,0 +1,104 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	m := PaperModel()
+	// 2x MTBF for ReStore, 7x for lhf+ReStore (paper abstract).
+	if got := m.MTBFImprovement(ReStore); math.Abs(got-2.0) > 0.01 {
+		t.Errorf("ReStore MTBF improvement = %.2f, want 2.0", got)
+	}
+	if got := m.MTBFImprovement(LHFReStore); math.Abs(got-7.0) > 0.01 {
+		t.Errorf("lhf+ReStore MTBF improvement = %.2f, want 7.0", got)
+	}
+	if got := m.MTBFImprovement(Baseline); got != 1.0 {
+		t.Errorf("baseline improvement = %v", got)
+	}
+}
+
+func TestGoalFIT(t *testing.T) {
+	// Paper: "a reliability goal of 1000 MTBF (years) is reflected by the
+	// horizontal line at 115 FIT".
+	got := GoalFIT(1000)
+	if math.Abs(got-114.2) > 1 {
+		t.Errorf("GoalFIT(1000) = %.1f, want ~114-115", got)
+	}
+}
+
+func TestFITLinearInSize(t *testing.T) {
+	m := PaperModel()
+	f1 := m.FIT(Baseline, 50_000)
+	f2 := m.FIT(Baseline, 100_000)
+	if math.Abs(f2/f1-2.0) > 1e-9 {
+		t.Errorf("FIT not linear: %v vs %v", f1, f2)
+	}
+	// 46k bits baseline: 46000*0.001*0.07 = 3.22 FIT.
+	if got := m.FIT(Baseline, 46_000); math.Abs(got-3.22) > 0.01 {
+		t.Errorf("FIT(46k) = %v", got)
+	}
+}
+
+func TestMTBFConversion(t *testing.T) {
+	// 115 FIT ~ 1000 years.
+	if got := MTBFYears(114.2); math.Abs(got-1000) > 5 {
+		t.Errorf("MTBFYears(114.2) = %v", got)
+	}
+	if !math.IsInf(MTBFYears(0), 1) {
+		t.Error("zero FIT should be infinite MTBF")
+	}
+}
+
+func TestSeventhSizeObservation(t *testing.T) {
+	// Paper Section 5.3: lhf+ReStore yields an MTBF comparable to a
+	// design 1/7th the size (of the unprotected baseline).
+	m := PaperModel()
+	goal := GoalFIT(1000)
+	base := m.MaxSizeMeetingGoal(Baseline, goal)
+	best := m.MaxSizeMeetingGoal(LHFReStore, goal)
+	ratio := best / base
+	if math.Abs(ratio-7.0) > 0.01 {
+		t.Errorf("size ratio = %.2f, want 7.0", ratio)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	m := PaperModel()
+	sizes := DefaultSizes()
+	if len(sizes) < 8 {
+		t.Fatalf("too few sizes: %d", len(sizes))
+	}
+	if sizes[0] != 50_000 {
+		t.Errorf("first size = %v", sizes[0])
+	}
+	series := m.Sweep(sizes)
+	if len(series) != 4 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	// Ordering at every size: baseline > ReStore > lhf > lhf+ReStore.
+	byName := map[string]int{}
+	for i, s := range series {
+		byName[s.Name] = i
+	}
+	for i := range sizes {
+		b := series[byName["baseline"]].Y[i]
+		r := series[byName["ReStore"]].Y[i]
+		l := series[byName["lhf"]].Y[i]
+		lr := series[byName["lhf+ReStore"]].Y[i]
+		if !(b > r && r > l && l > lr) {
+			t.Fatalf("ordering violated at size %v: %v %v %v %v", sizes[i], b, r, l, lr)
+		}
+	}
+}
+
+func TestZeroRawDefaults(t *testing.T) {
+	m := Model{FailFrac: map[Variant]float64{Baseline: 0.07}}
+	if m.FIT(Baseline, 1000) != 1000*RawFITPerBit*0.07 {
+		t.Error("zero RawPerBit should default")
+	}
+	if !math.IsInf(m.MaxSizeMeetingGoal(ReStore, 100), 1) {
+		t.Error("missing variant should allow infinite size")
+	}
+}

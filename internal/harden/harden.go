@@ -1,0 +1,166 @@
+// Package harden models the "low-hanging fruit" protection of the paper's
+// Section 5.2.2 (from the authors' DSN-2004 work): parity on the control
+// word latches within the pipeline and ECC on the register file and other
+// key data stores (alias tables, fetch queue).
+//
+// The protection map classifies every element of a pipeline's state space
+// into a protection domain. Fault-injection campaigns consult the map: a
+// flip landing in an ECC-protected element is corrected in place, and one
+// landing in a parity-protected element is detected on read and recovered
+// by a pipeline flush — in both cases the fault cannot cause failure, which
+// is exactly how the paper's hardened-pipeline campaign (Figure 6) treats
+// them.
+package harden
+
+import (
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// Protection is the domain of one state element.
+type Protection uint8
+
+// Protection domains.
+const (
+	// Unprotected elements take faults at face value.
+	Unprotected Protection = iota
+	// Parity detects single-bit flips on read; recovery is a pipeline
+	// flush (the corrupt in-flight state is discarded and refetched).
+	Parity
+	// ECC corrects single-bit flips on read.
+	ECC
+)
+
+// String names the protection domain.
+func (p Protection) String() string {
+	switch p {
+	case Parity:
+		return "parity"
+	case ECC:
+		return "ecc"
+	}
+	return "unprotected"
+}
+
+// Scheme selects a placement of protection over the state space.
+type Scheme uint8
+
+// Available schemes.
+const (
+	// None leaves the whole pipeline unprotected (the baseline).
+	None Scheme = iota
+	// LowHangingFruit is the paper's Section 5.2.2 placement: ECC on the
+	// SRAM arrays whose data lives long enough to protect cheaply
+	// (register file, both alias tables, free list, fetch queue), parity
+	// on the in-pipeline control word latches (decoded instructions in
+	// the ROB and scheduler and the raw words in the fetch queue).
+	LowHangingFruit
+)
+
+// eccPrefixes and parityPrefixes classify elements by registered name.
+var (
+	eccPrefixes = []string{
+		"prf.val", "prf.ready", "specRAT", "archRAT", "freelist",
+	}
+	parityPrefixes = []string{
+		"rob.ctl", "fq.word", "fq.pc", "sched.",
+	}
+)
+
+// Map assigns a protection domain to every element of one state space.
+type Map struct {
+	prot []Protection
+}
+
+// NewMap classifies the elements of the given state space under the scheme.
+func NewMap(space *pipeline.StateSpace, scheme Scheme) *Map {
+	elems := space.Elements()
+	m := &Map{prot: make([]Protection, len(elems))}
+	if scheme == None {
+		return m
+	}
+	for i := range elems {
+		name := elems[i].Name
+		switch {
+		case hasAnyPrefix(name, eccPrefixes):
+			m.prot[i] = ECC
+		case hasAnyPrefix(name, parityPrefixes):
+			m.prot[i] = Parity
+		}
+	}
+	return m
+}
+
+func hasAnyPrefix(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Protection returns the domain of element index i.
+func (m *Map) Protection(i int) Protection {
+	if i < 0 || i >= len(m.prot) {
+		return Unprotected
+	}
+	return m.prot[i]
+}
+
+// Protected reports whether the element is covered by parity or ECC.
+func (m *Map) Protected(i int) bool { return m.prot[i] != Unprotected }
+
+// Stats summarises a protection map over its state space.
+type Stats struct {
+	TotalBits    uint64
+	ECCBits      uint64
+	ParityBits   uint64
+	OverheadBits uint64 // extra check bits the protection costs
+}
+
+// CoveredFraction returns the fraction of state bits under any protection.
+func (s Stats) CoveredFraction() float64 {
+	if s.TotalBits == 0 {
+		return 0
+	}
+	return float64(s.ECCBits+s.ParityBits) / float64(s.TotalBits)
+}
+
+// OverheadFraction returns check bits relative to total state, the paper's
+// "approximately 7% additional state in the execution core".
+func (s Stats) OverheadFraction() float64 {
+	if s.TotalBits == 0 {
+		return 0
+	}
+	return float64(s.OverheadBits) / float64(s.TotalBits)
+}
+
+// Survey computes coverage and overhead statistics for the map over its
+// space. Overhead: parity costs 1 check bit per protected word; ECC costs
+// SEC-DED width (⌈log2 n⌉ + 2) per protected word.
+func Survey(space *pipeline.StateSpace, m *Map) Stats {
+	var s Stats
+	for i, e := range space.Elements() {
+		bits := uint64(e.Bits)
+		s.TotalBits += bits
+		switch m.Protection(i) {
+		case ECC:
+			s.ECCBits += bits
+			s.OverheadBits += secdedBits(bits)
+		case Parity:
+			s.ParityBits += bits
+			s.OverheadBits++
+		}
+	}
+	return s
+}
+
+func secdedBits(dataBits uint64) uint64 {
+	check := uint64(0)
+	for (uint64(1) << check) < dataBits+check+1 {
+		check++
+	}
+	return check + 1 // +1 for double-error detection
+}

@@ -1,0 +1,117 @@
+package harden
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func space(t *testing.T) *pipeline.StateSpace {
+	t.Helper()
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1, Scale: 0.25})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.State()
+}
+
+func TestNoneSchemeProtectsNothing(t *testing.T) {
+	s := space(t)
+	m := NewMap(s, None)
+	for i := range s.Elements() {
+		if m.Protected(i) {
+			t.Fatalf("element %d protected under None", i)
+		}
+	}
+	st := Survey(s, m)
+	if st.ECCBits != 0 || st.ParityBits != 0 || st.OverheadBits != 0 {
+		t.Errorf("None scheme has overhead: %+v", st)
+	}
+}
+
+func TestLowHangingFruitPlacement(t *testing.T) {
+	s := space(t)
+	m := NewMap(s, LowHangingFruit)
+	elems := s.Elements()
+	sawECC, sawParity, sawBare := false, false, false
+	for i := range elems {
+		switch elems[i].Name {
+		case "prf.val", "specRAT", "archRAT":
+			if m.Protection(i) != ECC {
+				t.Fatalf("%s not ECC", elems[i].Name)
+			}
+			sawECC = true
+		case "rob.ctl", "fq.word":
+			if m.Protection(i) != Parity {
+				t.Fatalf("%s not parity", elems[i].Name)
+			}
+			sawParity = true
+		case "stq.data", "exec.val", "rob.result":
+			if m.Protected(i) {
+				t.Fatalf("%s should be unprotected (operational data in flight)", elems[i].Name)
+			}
+			sawBare = true
+		}
+	}
+	if !sawECC || !sawParity || !sawBare {
+		t.Fatalf("classification did not see all domains: ecc=%v parity=%v bare=%v",
+			sawECC, sawParity, sawBare)
+	}
+}
+
+func TestSurveyCoverageAndOverhead(t *testing.T) {
+	s := space(t)
+	m := NewMap(s, LowHangingFruit)
+	st := Survey(s, m)
+	if st.TotalBits != s.TotalBits(false) {
+		t.Errorf("total bits %d vs %d", st.TotalBits, s.TotalBits(false))
+	}
+	cov := st.CoveredFraction()
+	if cov < 0.30 || cov > 0.85 {
+		t.Errorf("coverage %.2f outside plausible range", cov)
+	}
+	// The paper quotes ~7% additional state for this placement.
+	oh := st.OverheadFraction()
+	if oh < 0.02 || oh > 0.15 {
+		t.Errorf("overhead %.3f not in the paper's ballpark (~0.07)", oh)
+	}
+	t.Logf("coverage=%.1f%% overhead=%.1f%% (ecc=%d parity=%d of %d bits)",
+		100*cov, 100*oh, st.ECCBits, st.ParityBits, st.TotalBits)
+}
+
+func TestProtectionBounds(t *testing.T) {
+	s := space(t)
+	m := NewMap(s, LowHangingFruit)
+	if m.Protection(-1) != Unprotected || m.Protection(1<<30) != Unprotected {
+		t.Error("out-of-range indices must be unprotected")
+	}
+}
+
+func TestProtectionStrings(t *testing.T) {
+	if Unprotected.String() == "" || Parity.String() == "" || ECC.String() == "" {
+		t.Error("empty protection names")
+	}
+	if Parity.String() == ECC.String() {
+		t.Error("indistinct protection names")
+	}
+}
+
+func TestSECDEDWidths(t *testing.T) {
+	tests := []struct {
+		data uint64
+		want uint64
+	}{
+		{8, 5}, {16, 6}, {32, 7}, {64, 8}, {7, 5},
+	}
+	for _, tt := range tests {
+		if got := secdedBits(tt.data); got != tt.want {
+			t.Errorf("secdedBits(%d) = %d, want %d", tt.data, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package inject
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVMCategoryPrecedence(t *testing.T) {
+	// Paper: "a trial that fits in both the exception and cfv categories
+	// is placed in the exception category".
+	tr := VMTrial{ExcLat: 80, CFVLat: 40, MemAddrLat: 20, MemDataLat: 10}
+	tests := []struct {
+		latency uint64
+		want    VMCategory
+	}{
+		{5, VMRegister},
+		{10, VMMemData},
+		{20, VMMemAddr},
+		{40, VMCFV},
+		{80, VMException},
+		{100000, VMException},
+	}
+	for _, tt := range tests {
+		if got := tr.CategoryAt(tt.latency); got != tt.want {
+			t.Errorf("CategoryAt(%d) = %v, want %v", tt.latency, got, tt.want)
+		}
+	}
+}
+
+func TestVMMaskedBeatsEverything(t *testing.T) {
+	tr := VMTrial{Masked: true, ExcLat: 5, CFVLat: 3}
+	if tr.CategoryAt(1000) != VMMasked {
+		t.Error("masked trial classified as failing")
+	}
+}
+
+func TestVMDistributionSumsToOne(t *testing.T) {
+	trials := []VMTrial{
+		{Masked: true, ExcLat: Never, CFVLat: Never, MemAddrLat: Never, MemDataLat: Never},
+		{ExcLat: 50, CFVLat: Never, MemAddrLat: Never, MemDataLat: Never},
+		{ExcLat: Never, CFVLat: 10, MemAddrLat: Never, MemDataLat: Never},
+		{ExcLat: Never, CFVLat: Never, MemAddrLat: Never, MemDataLat: Never},
+	}
+	for _, lat := range []uint64{25, 100, 1000} {
+		d := VMDistribution(trials, lat)
+		if math.Abs(d.Total()-1.0) > 1e-9 {
+			t.Errorf("distribution at %d sums to %v", lat, d.Total())
+		}
+	}
+	d := VMDistribution(trials, 25)
+	if d.Get("cfv") != 0.25 || d.Get("masked") != 0.25 || d.Get("register") != 0.5 {
+		t.Errorf("distribution wrong: %+v", d.Fraction)
+	}
+	if VMDistribution(nil, 25).Total() != 0 {
+		t.Error("empty trial set should produce empty distribution")
+	}
+}
+
+func TestVMCategoryStrings(t *testing.T) {
+	cats := []VMCategory{VMMasked, VMException, VMCFV, VMMemAddr, VMMemData, VMRegister, VMCategory(0)}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		s := c.String()
+		if s == "" || (seen[s] && s != "unknown") {
+			t.Errorf("bad name for %d: %q", c, s)
+		}
+		seen[s] = true
+	}
+	if len(VMCategories()) != 6 {
+		t.Error("category list wrong")
+	}
+}
+
+func newFailingTrial() UArchTrial {
+	return UArchTrial{
+		DeadlockLat: Never, ExcLat: Never, CFVLat: Never,
+		HCMispLat: Never, AnyMispLat: Never, DivergeLat: Never,
+	}
+}
+
+func TestUArchPrecedence(t *testing.T) {
+	tr := newFailingTrial()
+	tr.DeadlockLat = 90
+	tr.ExcLat = 50
+	tr.CFVLat = 20
+	tr.ArchCorrupt = true
+
+	tests := []struct {
+		interval uint64
+		want     UArchCategory
+	}{
+		{10, USDC},
+		{20, UCFV},
+		{50, UException},
+		{90, UDeadlock},
+		{5000, UDeadlock},
+	}
+	for _, tt := range tests {
+		if got := tr.CategoryAt(tt.interval, DetectorPerfect); got != tt.want {
+			t.Errorf("CategoryAt(%d) = %v, want %v", tt.interval, got, tt.want)
+		}
+	}
+}
+
+func TestUArchDetectorSelectsLatency(t *testing.T) {
+	tr := newFailingTrial()
+	tr.ArchCorrupt = true
+	tr.CFVLat = 10
+	tr.HCMispLat = 200
+	tr.AnyMispLat = 50
+
+	if tr.CategoryAt(100, DetectorPerfect) != UCFV {
+		t.Error("perfect detector missed committed divergence")
+	}
+	if tr.CategoryAt(100, DetectorJRS) != USDC {
+		t.Error("JRS detector should not see low-confidence mispredicts")
+	}
+	if tr.CategoryAt(100, DetectorOracleConfidence) != UCFV {
+		t.Error("oracle confidence should cover any mispredict")
+	}
+	if tr.CategoryAt(100, DetectorNone) != USDC {
+		t.Error("none detector should leave sdc")
+	}
+	if tr.CategoryAt(200, DetectorJRS) != UCFV {
+		t.Error("JRS covers once latency fits the interval")
+	}
+}
+
+func TestUArchNonFailingClassification(t *testing.T) {
+	masked := newFailingTrial()
+	masked.Masked = true
+	if masked.CategoryAt(100, DetectorPerfect) != UMasked || masked.Failing() {
+		t.Error("masked trial misclassified")
+	}
+
+	stuck := newFailingTrial()
+	stuck.FaultStuck = true
+	if stuck.CategoryAt(100, DetectorPerfect) != UOther || stuck.Failing() {
+		t.Error("stuck fault should be 'other' and non-failing")
+	}
+
+	latent := newFailingTrial() // moved fault, no corruption, no symptom
+	if !latent.Failing() || latent.CategoryAt(100, DetectorPerfect) != ULatent {
+		t.Error("moved fault should be latent and failing")
+	}
+
+	protected := newFailingTrial()
+	protected.Protected = true
+	protected.ExcLat = 5 // even with symptoms recorded, protection wins
+	if protected.Failing() || protected.CategoryAt(100, DetectorPerfect) != UOther {
+		t.Error("protected trial must never fail")
+	}
+}
+
+func TestUArchCoveredAndRates(t *testing.T) {
+	trials := []UArchTrial{
+		func() UArchTrial { tr := newFailingTrial(); tr.Masked = true; return tr }(),
+		func() UArchTrial { tr := newFailingTrial(); tr.ExcLat = 50; return tr }(),
+		func() UArchTrial { tr := newFailingTrial(); tr.ExcLat = 500; return tr }(),
+		func() UArchTrial { tr := newFailingTrial(); tr.ArchCorrupt = true; return tr }(),
+	}
+	if got := RawFailureRate(trials); got != 0.75 {
+		t.Errorf("raw failure rate = %v, want 0.75", got)
+	}
+	// At interval 100: only the ExcLat=50 trial is covered.
+	if got := FailureRate(trials, 100, DetectorPerfect); got != 0.5 {
+		t.Errorf("failure rate = %v, want 0.5", got)
+	}
+	if !trials[1].Covered(100, DetectorPerfect) || trials[2].Covered(100, DetectorPerfect) {
+		t.Error("coverage misattributed")
+	}
+	if RawFailureRate(nil) != 0 || FailureRate(nil, 100, DetectorPerfect) != 0 {
+		t.Error("empty sets should rate 0")
+	}
+}
+
+func TestUArchDistributionSums(t *testing.T) {
+	trials := []UArchTrial{
+		func() UArchTrial { tr := newFailingTrial(); tr.Masked = true; return tr }(),
+		func() UArchTrial { tr := newFailingTrial(); tr.DeadlockLat = 10; return tr }(),
+		func() UArchTrial { tr := newFailingTrial(); tr.FaultStuck = true; return tr }(),
+	}
+	d := UArchDistribution(trials, 100, DetectorPerfect)
+	if math.Abs(d.Total()-1.0) > 1e-9 {
+		t.Errorf("sums to %v", d.Total())
+	}
+	if d.Get("deadlock") == 0 || d.Get("masked") == 0 || d.Get("other") == 0 {
+		t.Errorf("distribution: %+v", d.Fraction)
+	}
+}
+
+func TestUArchCategoryStrings(t *testing.T) {
+	cats := []UArchCategory{UMasked, UOther, ULatent, USDC, UCFV, UException, UDeadlock, UArchCategory(0)}
+	for _, c := range cats {
+		if c.String() == "" {
+			t.Errorf("empty name for %d", c)
+		}
+	}
+	if len(UArchCategories()) != 7 {
+		t.Error("category list wrong")
+	}
+}
+
+func TestDMRDetectorDominates(t *testing.T) {
+	// DMR sees any committed divergence, so its coverage dominates every
+	// symptom-based detector on the same trial.
+	tr := newFailingTrial()
+	tr.ArchCorrupt = true
+	tr.DivergeLat = 5
+	tr.CFVLat = 60
+	tr.HCMispLat = Never
+	if tr.CategoryAt(10, DetectorDMR) != UCFV {
+		t.Error("DMR should cover the divergence at latency 5")
+	}
+	if tr.CategoryAt(10, DetectorPerfect) != USDC {
+		t.Error("perfect cfv detector should not cover a pure data divergence")
+	}
+}

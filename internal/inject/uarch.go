@@ -1,0 +1,462 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/harden"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// UArchConfig parameterises a microarchitectural fault-injection campaign
+// (Section 4.2): single bit flips into the pipeline's latches and SRAM
+// cells, with caches and predictor tables excluded, at pre-selected
+// injection points, each trial monitored for up to WindowCycles against a
+// golden execution.
+type UArchConfig struct {
+	Bench workload.Benchmark
+	Seed  int64
+	Scale float64 // workload scale; 0 = 1.0
+
+	// Points is the number of injection points (paper: 250-300 across
+	// the campaign); TrialsPerPoint bits are flipped at each.
+	Points         int
+	TrialsPerPoint int
+
+	// WarmupCycles runs the pipeline before the first point ("the model
+	// was allowed to warm-up prior to each fault injection").
+	WarmupCycles uint64
+	// SpreadCycles is the range after warm-up that points are drawn
+	// from.
+	SpreadCycles uint64
+	// WindowCycles is the per-trial observation window (paper: 10000).
+	WindowCycles uint64
+
+	// LatchesOnly restricts targeting to pipeline latches, excluding
+	// SRAM arrays (the Section 5.1.2 campaign).
+	LatchesOnly bool
+
+	// BurstBits flips a run of adjacent bits per trial instead of one
+	// (default 1). The paper's fault model is single-bit (Section 4.2);
+	// this extension models the spatial multi-bit upsets that grow more
+	// common as cells shrink.
+	BurstBits int
+
+	// Harden applies a protection scheme; flips landing in protected
+	// elements are corrected/flushed and cannot fail (Figure 6).
+	Harden harden.Scheme
+
+	// Pipeline optionally overrides the processor configuration.
+	Pipeline *pipeline.Config
+}
+
+func (c *UArchConfig) applyDefaults() {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.Points == 0 {
+		c.Points = 25
+	}
+	if c.TrialsPerPoint == 0 {
+		c.TrialsPerPoint = 50
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 10_000
+	}
+	if c.SpreadCycles == 0 {
+		c.SpreadCycles = 40_000
+	}
+	if c.WindowCycles == 0 {
+		c.WindowCycles = 10_000
+	}
+	if c.BurstBits == 0 {
+		c.BurstBits = 1
+	}
+}
+
+// UArchResult is the outcome of one microarchitectural campaign.
+type UArchResult struct {
+	Config      UArchConfig
+	Trials      []UArchTrial
+	TotalBits   uint64
+	LatchBits   uint64
+	HardenStats harden.Stats
+}
+
+// Distribution bins the trials at a checkpoint interval under a detector.
+func (r *UArchResult) Distribution(interval uint64, det Detector) map[string]float64 {
+	return UArchDistribution(r.Trials, interval, det).Fraction
+}
+
+// goldenTrace is the recorded golden continuation at one injection point.
+type goldenTrace struct {
+	commits []pipeline.CommitEvent
+	// hashAt maps a state digest to the first cycle (relative to the
+	// point) it occurred at, enabling masked detection even when the
+	// faulty run lags the golden by a few cycles of timing skew.
+	hashAt map[uint64]uint64
+	// mispredicts is the golden run's conditional-misprediction
+	// resolution schedule. Faulty-run mispredictions matching this
+	// schedule are natural, not fault-induced, and do not count as
+	// control-flow symptoms (the paper classifies cfv as faults that
+	// CAUSED incorrect control flow).
+	mispredicts []mispRec
+}
+
+type mispRec struct {
+	pc       uint64
+	taken    bool
+	highConf bool
+}
+
+// RunUArch executes the campaign: warm up, fork a golden pipeline at each
+// injection point, record its continuation, then run TrialsPerPoint
+// corrupted clones against it.
+func RunUArch(cfg UArchConfig) (*UArchResult, error) {
+	cfg.applyDefaults()
+	prog, err := workload.Generate(cfg.Bench, workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	m, err := prog.NewMemory()
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pipeline.DefaultConfig()
+	if cfg.Pipeline != nil {
+		pcfg = *cfg.Pipeline
+	}
+	master, err := pipeline.New(pcfg, m, prog.Entry)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0A12C4))
+
+	master.RunCycles(cfg.WarmupCycles)
+	if master.Status() != pipeline.StatusRunning {
+		return nil, fmt.Errorf("inject: golden pipeline stopped during warm-up: %v", master.Status())
+	}
+
+	// Injection points as cycle offsets past warm-up, visited in order.
+	offsets := make([]uint64, cfg.Points)
+	for i := range offsets {
+		offsets[i] = uint64(rng.Int63n(int64(cfg.SpreadCycles)))
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+
+	space := master.State()
+	protMap := harden.NewMap(space, cfg.Harden)
+	result := &UArchResult{
+		Config:      cfg,
+		TotalBits:   space.TotalBits(false),
+		LatchBits:   space.TotalBits(true),
+		HardenStats: harden.Survey(space, protMap),
+	}
+
+	base := cfg.WarmupCycles
+	for _, off := range offsets {
+		target := cfg.WarmupCycles + off
+		if target > base {
+			master.RunCycles(target - base)
+			base = target
+		}
+		if master.Status() != pipeline.StatusRunning {
+			return nil, fmt.Errorf("inject: golden pipeline stopped at cycle %d: %v",
+				master.Cycles(), master.Status())
+		}
+
+		trace, err := recordGolden(master, cfg.WindowCycles)
+		if err != nil {
+			return nil, err
+		}
+
+		for t := 0; t < cfg.TrialsPerPoint; t++ {
+			ref, isLatch := pickBit(master.State(), rng, cfg.LatchesOnly)
+			elem := master.State().Elements()[ref.Elem]
+
+			trial := UArchTrial{
+				PointCycle:  master.Cycles(),
+				Elem:        elem.Name,
+				Bit:         ref.Bit,
+				IsLatch:     isLatch,
+				DeadlockLat: Never,
+				ExcLat:      Never,
+				CFVLat:      Never,
+				HCMispLat:   Never,
+				AnyMispLat:  Never,
+				DivergeLat:  Never,
+			}
+
+			if protMap.Protected(ref.Elem) {
+				// Parity detects the flip on read (recovered by
+				// flush); ECC corrects it. Either way it cannot
+				// cause failure.
+				trial.Protected = true
+				result.Trials = append(result.Trials, trial)
+				continue
+			}
+
+			faulty := master.Clone()
+			runUArchTrial(faulty, ref, cfg.BurstBits, trace, cfg.WindowCycles, &trial)
+			result.Trials = append(result.Trials, trial)
+		}
+	}
+	return result, nil
+}
+
+// pickBit samples a uniformly random eligible bit (rejection sampling for
+// the latch-only campaign; latches are the majority of bits, so this
+// terminates quickly).
+func pickBit(space *pipeline.StateSpace, rng *rand.Rand, latchesOnly bool) (pipeline.BitRef, bool) {
+	for {
+		n := uint64(rng.Int63n(int64(space.TotalBits(false))))
+		ref, ok := space.NthBit(n)
+		if !ok {
+			continue
+		}
+		isLatch := space.Elements()[ref.Elem].Kind == pipeline.KindLatch
+		if latchesOnly && !isLatch {
+			continue
+		}
+		return ref, isLatch
+	}
+}
+
+// recordGolden forks the master and records its continuation: per-cycle
+// state digests and the committed instruction stream.
+func recordGolden(master *pipeline.Pipeline, window uint64) (*goldenTrace, error) {
+	g := master.Clone()
+	trace := &goldenTrace{
+		commits: make([]pipeline.CommitEvent, 0, window),
+		hashAt:  make(map[uint64]uint64, window),
+	}
+	g.CommitHook = func(ev pipeline.CommitEvent) {
+		trace.commits = append(trace.commits, ev)
+	}
+	g.BranchHook = func(ev pipeline.BranchEvent) {
+		if ev.IsCond && ev.Mispredicted {
+			trace.mispredicts = append(trace.mispredicts,
+				mispRec{pc: ev.PC, taken: ev.ActualTaken, highConf: ev.HighConf})
+		}
+	}
+	// Record with 25% slack so a faulty run that gets slightly ahead
+	// still has golden events to compare against.
+	total := window + window/4
+	for c := uint64(0); c <= total; c++ {
+		h := g.State().Hash()
+		if _, seen := trace.hashAt[h]; !seen {
+			trace.hashAt[h] = c
+		}
+		if c < total {
+			g.Cycle()
+			if g.Status() != pipeline.StatusRunning {
+				return nil, fmt.Errorf("inject: golden continuation stopped: %v", g.Status())
+			}
+		}
+	}
+	return trace, nil
+}
+
+// runUArchTrial flips the bit and monitors the clone against the golden
+// trace.
+func runUArchTrial(f *pipeline.Pipeline, ref pipeline.BitRef, burst int, trace *goldenTrace, window uint64, trial *UArchTrial) {
+	const hashEvery = 16
+
+	// Flip a run of adjacent bits within the element (single-bit unless
+	// the campaign models burst upsets). The run clips at the element's
+	// width, as a physical strike clips at the array edge.
+	width := f.State().Elements()[ref.Elem].Bits
+	for b := 0; b < burst && ref.Bit+uint8(b) < width; b++ {
+		f.State().Flip(pipeline.BitRef{Elem: ref.Elem, Bit: ref.Bit + uint8(b)})
+	}
+	flippedBit := f.State().Peek(ref)
+
+	injRetired := f.Retired()
+	var (
+		commitIdx   int
+		cfv         bool
+		diverged    [32]bool
+		divergedN   int
+		divergedMem map[uint64]bool
+	)
+	markReg := func(r isa.Reg, diff bool) {
+		if r == isa.RegZero {
+			return
+		}
+		i := int(r) % 32
+		if diff && !diverged[i] {
+			diverged[i] = true
+			divergedN++
+		} else if !diff && diverged[i] {
+			diverged[i] = false
+			divergedN--
+		}
+	}
+
+	latency := func() uint64 {
+		lat := f.Retired() - injRetired
+		if lat == 0 {
+			lat = 1
+		}
+		return lat
+	}
+
+	f.CommitHook = func(ev pipeline.CommitEvent) {
+		if cfv || commitIdx >= len(trace.commits) {
+			commitIdx++
+			return
+		}
+		g := trace.commits[commitIdx]
+		commitIdx++
+
+		if ev.Exception != arch.ExcNone {
+			return // recorded via pipeline status
+		}
+		noteDiverge := func() {
+			if trial.DivergeLat == Never {
+				trial.DivergeLat = latency()
+			}
+		}
+
+		// Control-flow violation detection, Table 1's two varieties:
+		// legal-but-incorrect (a branch resolving to the wrong outcome)
+		// and illegal (branching behaviour appearing or disappearing,
+		// or the committed stream walking a different path — PC and
+		// instruction both differ). A corrupted PC latch under an
+		// unchanged non-branch instruction is bookkeeping damage, not a
+		// violation; its real effects (wrong branch targets, wrong link
+		// values) surface through these checks.
+		branchChanged := ev.IsBranch != g.IsBranch ||
+			(ev.IsBranch && (ev.Taken != g.Taken || ev.Target != g.Target))
+		wrongPath := ev.PC != g.PC && ev.Inst != g.Inst
+		if branchChanged || wrongPath {
+			if trial.CFVLat == Never {
+				trial.CFVLat = latency()
+			}
+			cfv = true
+			trial.EverDiverged = true
+			noteDiverge()
+			return
+		}
+
+		// Register effects. When the faulty run writes a different
+		// destination than the golden run, both registers diverge: the
+		// one that got a wrong value and the one that missed its write.
+		if ev.HasDest || g.HasDest {
+			switch {
+			case ev.HasDest && g.HasDest && ev.DestArch == g.DestArch:
+				same := ev.DestVal == g.DestVal
+				if !same {
+					trial.EverDiverged = true
+					noteDiverge()
+				}
+				markReg(ev.DestArch, !same)
+			default:
+				trial.EverDiverged = true
+				noteDiverge()
+				if ev.HasDest {
+					markReg(ev.DestArch, true)
+				}
+				if g.HasDest {
+					markReg(g.DestArch, true)
+				}
+			}
+		}
+
+		// Memory effects, including stores appearing or disappearing
+		// under a corrupted control word.
+		if ev.IsStore || g.IsStore {
+			if divergedMem == nil && !(ev.IsStore && g.IsStore &&
+				ev.MemAddr == g.MemAddr && ev.StoreVal == g.StoreVal) {
+				divergedMem = make(map[uint64]bool)
+			}
+			switch {
+			case ev.IsStore && !g.IsStore:
+				trial.EverDiverged = true
+				noteDiverge()
+				divergedMem[ev.MemAddr] = true
+			case !ev.IsStore && g.IsStore:
+				trial.EverDiverged = true
+				noteDiverge()
+				divergedMem[g.MemAddr] = true
+			case ev.MemAddr != g.MemAddr:
+				trial.EverDiverged = true
+				noteDiverge()
+				divergedMem[ev.MemAddr] = true
+				divergedMem[g.MemAddr] = true
+			case ev.StoreVal != g.StoreVal:
+				trial.EverDiverged = true
+				noteDiverge()
+				divergedMem[ev.MemAddr] = true
+			default:
+				if divergedMem != nil {
+					delete(divergedMem, ev.MemAddr)
+				}
+			}
+		}
+	}
+	mispIdx := 0
+	f.BranchHook = func(ev pipeline.BranchEvent) {
+		if !ev.Mispredicted || !ev.IsCond {
+			return
+		}
+		// Match against the golden misprediction schedule: the k-th
+		// faulty misprediction is natural iff it coincides with the
+		// golden run's k-th. Any deviation — different branch, outcome
+		// or confidence, or an extra event — is fault-induced.
+		natural := mispIdx < len(trace.mispredicts) &&
+			trace.mispredicts[mispIdx] == mispRec{pc: ev.PC, taken: ev.ActualTaken, highConf: ev.HighConf}
+		mispIdx++
+		if natural {
+			return
+		}
+		if trial.AnyMispLat == Never {
+			trial.AnyMispLat = latency()
+		}
+		if ev.HighConf && trial.HCMispLat == Never {
+			trial.HCMispLat = latency()
+		}
+	}
+
+	for c := uint64(1); c <= window; c++ {
+		f.Cycle()
+		switch f.Status() {
+		case pipeline.StatusExcepted:
+			kind, _, _ := f.Exception()
+			trial.ExcLat = latency()
+			trial.ExcKind = kind
+			return
+		case pipeline.StatusDeadlocked:
+			trial.DeadlockLat = latency()
+			return
+		case pipeline.StatusHalted:
+			// Synthetic workloads never halt; a committed HALT means
+			// corrupted control flow reached a halt encoding.
+			if trial.CFVLat == Never {
+				trial.CFVLat = latency()
+			}
+			trial.EverDiverged = true
+			return
+		}
+		if c%hashEvery == 0 && !cfv && divergedN == 0 && len(divergedMem) == 0 {
+			if gc, ok := trace.hashAt[f.State().Hash()]; ok && gc <= c {
+				// Microarchitectural state matches the golden run
+				// (possibly lagged): the fault is gone.
+				trial.Masked = true
+				return
+			}
+		}
+	}
+
+	trial.ArchCorrupt = cfv || divergedN > 0 || len(divergedMem) > 0
+	// The fault is "stuck" when the flipped bit still holds its post-flip
+	// value and nothing architectural ever diverged: it sits unread in
+	// (very likely dead) state, the paper's "other" category. Bits that
+	// self-heal (overwritten back) converge to the golden hash and are
+	// classified masked before reaching here.
+	trial.FaultStuck = f.State().Peek(ref) == flippedBit && !trial.EverDiverged
+}

@@ -1,0 +1,289 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// VMConfig parameterises the software-level campaign of Section 3.1: the
+// fault model is a single bit flip in the result of a randomly chosen
+// instruction, executed on the architectural simulator ("we abstract away
+// the processor implementation ... focusing on the propagation of the
+// incorrect architectural state into a soft error symptom").
+type VMConfig struct {
+	Bench workload.Benchmark
+	Seed  int64
+	Scale float64 // workload scale; 0 = 1.0
+
+	// Trials is the number of injections (paper: ~1000 per benchmark).
+	Trials int
+	// Points is the number of distinct injection instructions; trials
+	// are spread across them with different bit positions. 0 derives
+	// Trials/8.
+	Points int
+
+	// Warmup is the instruction index where injection points begin.
+	Warmup uint64
+	// Spread is the range of instruction indices points are drawn from.
+	Spread uint64
+	// Window is how many instructions each trial observes after the
+	// injection (the largest finite latency bin of Figure 2).
+	Window uint64
+
+	// Low32 restricts flips to result bits 0..31, reproducing the
+	// Section 3.1 sensitivity study of virtual-address-space size.
+	Low32 bool
+}
+
+func (c *VMConfig) applyDefaults() {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.Trials == 0 {
+		c.Trials = 1000
+	}
+	if c.Points == 0 {
+		c.Points = (c.Trials + 7) / 8
+	}
+	if c.Points > c.Trials {
+		c.Points = c.Trials
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5_000
+	}
+	if c.Spread == 0 {
+		c.Spread = 200_000
+	}
+	if c.Window == 0 {
+		c.Window = 100_000
+	}
+}
+
+// VMResult is the outcome of one software-level campaign.
+type VMResult struct {
+	Config VMConfig
+	Trials []VMTrial
+}
+
+// MaskedFraction returns the fraction of trials whose faults were masked.
+func (r *VMResult) MaskedFraction() float64 {
+	masked := 0
+	for _, t := range r.Trials {
+		if t.Masked {
+			masked++
+		}
+	}
+	return float64(masked) / float64(len(r.Trials))
+}
+
+// Distribution bins the trials at one detection latency.
+func (r *VMResult) Distribution(latency uint64) map[string]float64 {
+	return VMDistribution(r.Trials, latency).Fraction
+}
+
+// RunVM executes the campaign. The golden execution advances through the
+// program once; at each injection point the post-injection continuation is
+// simulated once to record a golden event trace, then each trial replays
+// the continuation with one result bit flipped, comparing event-by-event.
+func RunVM(cfg VMConfig) (*VMResult, error) {
+	cfg.applyDefaults()
+	prog, err := workload.Generate(cfg.Bench, workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	m, err := prog.NewMemory()
+	if err != nil {
+		return nil, err
+	}
+	m.EnableJournal()
+	sim := arch.New(m, prog.Entry)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
+
+	// Injection points: sorted instruction indices. Points must land on
+	// register-writing instructions; the walker skips forward to the
+	// next one.
+	points := make([]uint64, cfg.Points)
+	for i := range points {
+		points[i] = cfg.Warmup + uint64(rng.Int63n(int64(cfg.Spread)))
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+
+	trialsPerPoint := cfg.Trials / len(points)
+	extra := cfg.Trials - trialsPerPoint*len(points)
+
+	result := &VMResult{Config: cfg}
+	golden := make([]arch.Event, 0, cfg.Window)
+
+	for pi, point := range points {
+		// Advance the golden simulator to the injection point.
+		for sim.InstRet < point && !sim.Stopped() {
+			sim.Step()
+		}
+		if sim.Stopped() {
+			return nil, fmt.Errorf("inject: golden run stopped at %d", sim.InstRet)
+		}
+		// Find the next register-writing instruction and execute it;
+		// its event carries the result to corrupt.
+		var injEv arch.Event
+		for {
+			injEv = sim.Step()
+			if injEv.Exception != arch.ExcNone {
+				return nil, fmt.Errorf("inject: golden exception at %#x", injEv.PC)
+			}
+			if injEv.DestValid && injEv.Dest != isa.RegZero {
+				break
+			}
+		}
+
+		// Record the golden continuation once.
+		preRegs := sim.Snapshot()
+		preMark := m.Snapshot()
+		golden = golden[:0]
+		for i := uint64(0); i < cfg.Window; i++ {
+			ev := sim.Step()
+			if ev.Exception != arch.ExcNone {
+				return nil, fmt.Errorf("inject: golden exception at %#x", ev.PC)
+			}
+			golden = append(golden, ev)
+		}
+		goldenEnd := sim.Snapshot()
+
+		n := trialsPerPoint
+		if pi < extra {
+			n++
+		}
+		for t := 0; t < n; t++ {
+			maxBit := 64
+			if cfg.Low32 {
+				maxBit = 32
+			}
+			bit := uint8(rng.Intn(maxBit))
+
+			// Rewind to the injection point and corrupt the result.
+			m.RestoreTo(preMark)
+			sim.Restore(preRegs)
+			sim.SetReg(injEv.Dest, sim.Reg(injEv.Dest)^(1<<bit))
+
+			trial := runVMTrial(sim, injEv.Dest, golden, goldenEnd)
+			trial.Point = injEv.PC
+			trial.Bit = bit
+			result.Trials = append(result.Trials, trial)
+		}
+
+		// Rewind once more and make the golden continuation permanent
+		// so the walk to the next point starts clean.
+		m.RestoreTo(preMark)
+		sim.Restore(preRegs)
+		m.DiscardTo(0)
+	}
+	return result, nil
+}
+
+// runVMTrial executes the faulty continuation against the recorded golden
+// events and classifies its outcome.
+func runVMTrial(sim *arch.Sim, injReg isa.Reg, golden []arch.Event, goldenEnd arch.Snapshot) VMTrial {
+	trial := VMTrial{
+		ExcLat:     Never,
+		CFVLat:     Never,
+		MemAddrLat: Never,
+		MemDataLat: Never,
+	}
+
+	// Divergence ledgers: registers and memory addresses whose faulty
+	// values currently differ from golden.
+	var divergedRegs [32]bool
+	divergedCount := 0
+	markReg := func(r isa.Reg, diff bool) {
+		if r == isa.RegZero {
+			return
+		}
+		i := int(r) % 32
+		if diff && !divergedRegs[i] {
+			divergedRegs[i] = true
+			divergedCount++
+		} else if !diff && divergedRegs[i] {
+			divergedRegs[i] = false
+			divergedCount--
+		}
+	}
+	divergedMem := make(map[uint64]bool)
+
+	// The injected register starts diverged.
+	markReg(injReg, true)
+	cfv := false
+	for i := range golden {
+		lat := uint64(i) + 1
+		g := golden[i]
+		ev := sim.Step()
+
+		if ev.Exception != arch.ExcNone {
+			trial.ExcLat = lat
+			trial.ExcKind = ev.Exception
+			return trial // execution cannot continue (Section 3.2.1)
+		}
+		if cfv {
+			// After control-flow divergence only exceptions are
+			// meaningful; keep running the faulty path.
+			continue
+		}
+		if ev.PC != g.PC {
+			trial.CFVLat = lat
+			cfv = true
+			continue
+		}
+		if ev.DestValid {
+			markReg(ev.Dest, ev.DestVal != g.DestVal)
+		}
+		if ev.IsLoad || ev.IsStore {
+			if ev.MemAddr != g.MemAddr {
+				if trial.MemAddrLat == Never {
+					trial.MemAddrLat = lat
+				}
+				if ev.IsStore {
+					divergedMem[ev.MemAddr] = true
+					divergedMem[g.MemAddr] = true
+				}
+			} else if ev.IsStore {
+				if ev.StoreVal != g.StoreVal {
+					if trial.MemDataLat == Never {
+						trial.MemDataLat = lat
+					}
+					divergedMem[ev.MemAddr] = true
+				} else {
+					delete(divergedMem, ev.MemAddr)
+				}
+			}
+		}
+		if divergedCount == 0 && len(divergedMem) == 0 {
+			// All architectural effects have washed out; determinism
+			// guarantees the remainder of the run matches the golden
+			// execution exactly.
+			trial.Masked = true
+			return trial
+		}
+	}
+	if cfv {
+		return trial
+	}
+
+	// Window complete without exception or control divergence: masked iff
+	// all architectural effects washed out.
+	if divergedCount == 0 && len(divergedMem) == 0 {
+		trial.Masked = true
+		// Cross-check registers against the golden end state; the
+		// ledger should never disagree, but memory aliasing through
+		// differing addresses is approximated, so verify cheaply.
+		for r := 0; r < 31; r++ {
+			if sim.Regs[r] != goldenEnd.Regs[r] {
+				trial.Masked = false
+				break
+			}
+		}
+	}
+	return trial
+}

@@ -1,0 +1,360 @@
+package isa
+
+// Instruction encoding. Instructions are 32-bit words with a 6-bit primary
+// opcode in bits [31:26], following the Alpha layout:
+//
+//	Memory:  op[31:26] ra[25:21] rb[20:16] disp[15:0]       (disp sign-extended)
+//	Branch:  op[31:26] ra[25:21] disp[20:0]                 (disp sign-extended, in words)
+//	Operate: op[31:26] ra[25:21] rb[20:16] 000 0 fn[11:5] rc[4:0]
+//	OperateL:op[31:26] ra[25:21] lit[20:13]    1 fn[11:5] rc[4:0]
+//	Jump:    op[31:26] ra[25:21] rb[20:16] hint[15:14] 0...  (memory format)
+//
+// Branch displacements are in instruction words relative to the updated PC
+// (PC of the branch + 4), exactly as on Alpha.
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 4
+
+// Primary opcodes.
+const (
+	pcMisc = 0x00 // HALT / NOP selected by low bits
+	pcLDA  = 0x08
+	pcLDAH = 0x09
+	pcINTA = 0x10 // arithmetic, function-coded
+	pcINTL = 0x11 // logical + cmov, function-coded
+	pcINTS = 0x12 // shifts, function-coded
+	pcJMP  = 0x1A // jump group, hint-coded
+	pcLDL  = 0x28
+	pcLDQ  = 0x29
+	pcSTL  = 0x2C
+	pcSTQ  = 0x2D
+	pcBR   = 0x30
+	pcBSR  = 0x34
+	pcBEQ  = 0x39
+	pcBLT  = 0x3A
+	pcBLE  = 0x3B
+	pcBNE  = 0x3D
+	pcBGE  = 0x3E
+	pcBGT  = 0x3F
+)
+
+// INTA function codes.
+const (
+	fnADDQ   = 0x00
+	fnSUBQ   = 0x01
+	fnMULQ   = 0x02
+	fnADDL   = 0x03
+	fnSUBL   = 0x04
+	fnADDQV  = 0x05
+	fnSUBQV  = 0x06
+	fnMULQV  = 0x07
+	fnCMPEQ  = 0x10
+	fnCMPLT  = 0x11
+	fnCMPLE  = 0x12
+	fnCMPULT = 0x13
+	fnCMPULE = 0x14
+)
+
+// INTL function codes.
+const (
+	fnAND    = 0x00
+	fnBIS    = 0x01
+	fnXOR    = 0x02
+	fnBIC    = 0x03
+	fnORNOT  = 0x04
+	fnCMOVEQ = 0x10
+	fnCMOVNE = 0x11
+)
+
+// INTS function codes.
+const (
+	fnSLL = 0x00
+	fnSRL = 0x01
+	fnSRA = 0x02
+)
+
+// Jump hints (bits [15:14] of the displacement field).
+const (
+	hintJMP = 0
+	hintJSR = 1
+	hintRET = 2
+)
+
+// Misc function codes (whole displacement-free word low bits).
+const (
+	fnHALT = 0x0000
+	fnNOP  = 0x0001
+)
+
+type opEnc struct {
+	primary uint32
+	fn      uint32
+	hint    uint32
+}
+
+var encTable = map[Op]opEnc{
+	OpLDA: {primary: pcLDA}, OpLDAH: {primary: pcLDAH},
+	OpLDL: {primary: pcLDL}, OpLDQ: {primary: pcLDQ},
+	OpSTL: {primary: pcSTL}, OpSTQ: {primary: pcSTQ},
+	OpBR: {primary: pcBR}, OpBSR: {primary: pcBSR},
+	OpBEQ: {primary: pcBEQ}, OpBNE: {primary: pcBNE},
+	OpBLT: {primary: pcBLT}, OpBLE: {primary: pcBLE},
+	OpBGT: {primary: pcBGT}, OpBGE: {primary: pcBGE},
+	OpJMP:    {primary: pcJMP, hint: hintJMP},
+	OpJSR:    {primary: pcJMP, hint: hintJSR},
+	OpRET:    {primary: pcJMP, hint: hintRET},
+	OpADDQ:   {primary: pcINTA, fn: fnADDQ},
+	OpSUBQ:   {primary: pcINTA, fn: fnSUBQ},
+	OpMULQ:   {primary: pcINTA, fn: fnMULQ},
+	OpADDL:   {primary: pcINTA, fn: fnADDL},
+	OpSUBL:   {primary: pcINTA, fn: fnSUBL},
+	OpADDQV:  {primary: pcINTA, fn: fnADDQV},
+	OpSUBQV:  {primary: pcINTA, fn: fnSUBQV},
+	OpMULQV:  {primary: pcINTA, fn: fnMULQV},
+	OpCMPEQ:  {primary: pcINTA, fn: fnCMPEQ},
+	OpCMPLT:  {primary: pcINTA, fn: fnCMPLT},
+	OpCMPLE:  {primary: pcINTA, fn: fnCMPLE},
+	OpCMPULT: {primary: pcINTA, fn: fnCMPULT},
+	OpCMPULE: {primary: pcINTA, fn: fnCMPULE},
+	OpAND:    {primary: pcINTL, fn: fnAND},
+	OpBIS:    {primary: pcINTL, fn: fnBIS},
+	OpXOR:    {primary: pcINTL, fn: fnXOR},
+	OpBIC:    {primary: pcINTL, fn: fnBIC},
+	OpORNOT:  {primary: pcINTL, fn: fnORNOT},
+	OpCMOVEQ: {primary: pcINTL, fn: fnCMOVEQ},
+	OpCMOVNE: {primary: pcINTL, fn: fnCMOVNE},
+	OpSLL:    {primary: pcINTS, fn: fnSLL},
+	OpSRL:    {primary: pcINTS, fn: fnSRL},
+	OpSRA:    {primary: pcINTS, fn: fnSRA},
+	OpHALT:   {primary: pcMisc, fn: fnHALT},
+	OpNOP:    {primary: pcMisc, fn: fnNOP},
+}
+
+// Encode packs the instruction into a 32-bit word. Displacements out of
+// range are silently truncated to their field width; the workload builder
+// validates ranges before emitting.
+func Encode(i Inst) uint32 {
+	e, ok := encTable[i.Op]
+	if !ok {
+		return 0x07 << 26 // undefined primary opcode; decodes to OpInvalid
+	}
+	w := e.primary << 26
+	switch ClassOf(i.Op) {
+	case ClassHalt, ClassNop:
+		w |= e.fn
+	case ClassLoad, ClassStore:
+		w |= uint32(i.Ra&31) << 21
+		w |= uint32(i.Rb&31) << 16
+		w |= uint32(uint16(i.Disp))
+	case ClassALU, ClassMul:
+		if i.Op == OpLDA || i.Op == OpLDAH {
+			w |= uint32(i.Ra&31) << 21
+			w |= uint32(i.Rb&31) << 16
+			w |= uint32(uint16(i.Disp))
+			break
+		}
+		w |= uint32(i.Ra&31) << 21
+		if i.UseLit {
+			w |= uint32(i.Lit) << 13
+			w |= 1 << 12
+		} else {
+			w |= uint32(i.Rb&31) << 16
+		}
+		w |= e.fn << 5
+		w |= uint32(i.Rc & 31)
+	case ClassBranch:
+		if i.IsIndirect() {
+			w |= uint32(i.Rc&31) << 21 // link register in ra field
+			w |= uint32(i.Rb&31) << 16
+			w |= e.hint << 14
+			break
+		}
+		w |= uint32(i.Ra&31) << 21
+		w |= uint32(i.Disp) & 0x1FFFFF
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. Undecodable words yield an Inst
+// with Op == OpInvalid; the pipeline raises an illegal-instruction exception
+// when such an instruction reaches commit, mirroring how a corrupted
+// instruction latch manifests on real hardware.
+func Decode(w uint32) Inst {
+	primary := w >> 26
+	ra := Reg((w >> 21) & 31)
+	rb := Reg((w >> 16) & 31)
+	disp16 := int32(int16(uint16(w)))
+	switch primary {
+	case pcMisc:
+		switch w & 0xFFFF {
+		case fnHALT:
+			return Inst{Op: OpHALT}
+		case fnNOP:
+			return Inst{Op: OpNOP}
+		}
+	case pcLDA:
+		return Inst{Op: OpLDA, Ra: ra, Rb: rb, Disp: disp16}
+	case pcLDAH:
+		return Inst{Op: OpLDAH, Ra: ra, Rb: rb, Disp: disp16}
+	case pcLDL:
+		return Inst{Op: OpLDL, Ra: ra, Rb: rb, Disp: disp16}
+	case pcLDQ:
+		return Inst{Op: OpLDQ, Ra: ra, Rb: rb, Disp: disp16}
+	case pcSTL:
+		return Inst{Op: OpSTL, Ra: ra, Rb: rb, Disp: disp16}
+	case pcSTQ:
+		return Inst{Op: OpSTQ, Ra: ra, Rb: rb, Disp: disp16}
+	case pcINTA, pcINTL, pcINTS:
+		return decodeOperate(w, primary, ra)
+	case pcJMP:
+		hint := (w >> 14) & 3
+		var op Op
+		switch hint {
+		case hintJMP:
+			op = OpJMP
+		case hintJSR:
+			op = OpJSR
+		case hintRET:
+			op = OpRET
+		default:
+			return Inst{}
+		}
+		return Inst{Op: op, Rc: ra, Rb: rb}
+	case pcBR, pcBSR, pcBEQ, pcBNE, pcBLT, pcBLE, pcBGT, pcBGE:
+		disp := int32(w<<11) >> 11 // sign-extend 21 bits
+		op := branchOp(primary)
+		return Inst{Op: op, Ra: ra, Disp: disp}
+	}
+	return Inst{}
+}
+
+func branchOp(primary uint32) Op {
+	switch primary {
+	case pcBR:
+		return OpBR
+	case pcBSR:
+		return OpBSR
+	case pcBEQ:
+		return OpBEQ
+	case pcBNE:
+		return OpBNE
+	case pcBLT:
+		return OpBLT
+	case pcBLE:
+		return OpBLE
+	case pcBGT:
+		return OpBGT
+	case pcBGE:
+		return OpBGE
+	}
+	return OpInvalid
+}
+
+func decodeOperate(w, primary uint32, ra Reg) Inst {
+	fn := (w >> 5) & 0x7F
+	rc := Reg(w & 31)
+	useLit := w&(1<<12) != 0
+	inst := Inst{Ra: ra, Rc: rc, UseLit: useLit}
+	if useLit {
+		inst.Lit = uint8((w >> 13) & 0xFF)
+	} else {
+		inst.Rb = Reg((w >> 16) & 31)
+	}
+	var op Op
+	switch primary {
+	case pcINTA:
+		op = intaOp(fn)
+	case pcINTL:
+		op = intlOp(fn)
+	case pcINTS:
+		op = intsOp(fn)
+	}
+	if op == OpInvalid {
+		return Inst{}
+	}
+	inst.Op = op
+	return inst
+}
+
+func intaOp(fn uint32) Op {
+	switch fn {
+	case fnADDQ:
+		return OpADDQ
+	case fnSUBQ:
+		return OpSUBQ
+	case fnMULQ:
+		return OpMULQ
+	case fnADDL:
+		return OpADDL
+	case fnSUBL:
+		return OpSUBL
+	case fnADDQV:
+		return OpADDQV
+	case fnSUBQV:
+		return OpSUBQV
+	case fnMULQV:
+		return OpMULQV
+	case fnCMPEQ:
+		return OpCMPEQ
+	case fnCMPLT:
+		return OpCMPLT
+	case fnCMPLE:
+		return OpCMPLE
+	case fnCMPULT:
+		return OpCMPULT
+	case fnCMPULE:
+		return OpCMPULE
+	}
+	return OpInvalid
+}
+
+func intlOp(fn uint32) Op {
+	switch fn {
+	case fnAND:
+		return OpAND
+	case fnBIS:
+		return OpBIS
+	case fnXOR:
+		return OpXOR
+	case fnBIC:
+		return OpBIC
+	case fnORNOT:
+		return OpORNOT
+	case fnCMOVEQ:
+		return OpCMOVEQ
+	case fnCMOVNE:
+		return OpCMOVNE
+	}
+	return OpInvalid
+}
+
+func intsOp(fn uint32) Op {
+	switch fn {
+	case fnSLL:
+		return OpSLL
+	case fnSRL:
+		return OpSRL
+	case fnSRA:
+		return OpSRA
+	}
+	return OpInvalid
+}
+
+// BranchTarget computes the target of a PC-relative branch located at pc.
+func BranchTarget(pc uint64, disp int32) uint64 {
+	return pc + InstBytes + uint64(int64(disp))*InstBytes
+}
+
+// BranchDisp computes the displacement that encodes a branch at pc targeting
+// target. The second return value reports whether it fits in 21 bits.
+func BranchDisp(pc, target uint64) (int32, bool) {
+	delta := int64(target) - int64(pc) - InstBytes
+	if delta%InstBytes != 0 {
+		return 0, false
+	}
+	d := delta / InstBytes
+	if d < -(1<<20) || d >= 1<<20 {
+		return 0, false
+	}
+	return int32(d), true
+}

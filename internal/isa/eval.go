@@ -1,0 +1,104 @@
+package isa
+
+// EvalOperate computes the result of an ALU/multiply operation given its two
+// operand values (b already resolved from register or literal). The overflow
+// flag is meaningful only for the trapping variants. This single evaluator is
+// shared by the architectural simulator and the pipeline execute stage so
+// that the two can never disagree on semantics.
+func EvalOperate(op Op, a, b uint64) (result uint64, overflow bool) {
+	switch op {
+	case OpADDQ:
+		return a + b, false
+	case OpSUBQ:
+		return a - b, false
+	case OpMULQ:
+		return a * b, false
+	case OpADDL:
+		return uint64(int64(int32(uint32(a) + uint32(b)))), false
+	case OpSUBL:
+		return uint64(int64(int32(uint32(a) - uint32(b)))), false
+	case OpADDQV:
+		r := a + b
+		ov := (^(a ^ b) & (a ^ r) & (1 << 63)) != 0
+		return r, ov
+	case OpSUBQV:
+		r := a - b
+		ov := ((a ^ b) & (a ^ r) & (1 << 63)) != 0
+		return r, ov
+	case OpMULQV:
+		return a * b, signedMulOverflows(int64(a), int64(b))
+	case OpCMPEQ:
+		return boolWord(a == b), false
+	case OpCMPLT:
+		return boolWord(int64(a) < int64(b)), false
+	case OpCMPLE:
+		return boolWord(int64(a) <= int64(b)), false
+	case OpCMPULT:
+		return boolWord(a < b), false
+	case OpCMPULE:
+		return boolWord(a <= b), false
+	case OpAND:
+		return a & b, false
+	case OpBIS:
+		return a | b, false
+	case OpXOR:
+		return a ^ b, false
+	case OpBIC:
+		return a &^ b, false
+	case OpORNOT:
+		return a | ^b, false
+	case OpSLL:
+		return a << (b & 63), false
+	case OpSRL:
+		return a >> (b & 63), false
+	case OpSRA:
+		return uint64(int64(a) >> (b & 63)), false
+	}
+	return 0, false
+}
+
+func signedMulOverflows(a, b int64) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	r := a * b
+	return r/b != a
+}
+
+// EvalCondBranch evaluates a conditional branch's condition against the
+// value of its Ra operand.
+func EvalCondBranch(op Op, a uint64) bool {
+	switch op {
+	case OpBEQ:
+		return a == 0
+	case OpBNE:
+		return a != 0
+	case OpBLT:
+		return int64(a) < 0
+	case OpBLE:
+		return int64(a) <= 0
+	case OpBGT:
+		return int64(a) > 0
+	case OpBGE:
+		return int64(a) >= 0
+	}
+	return false
+}
+
+// EvalCondMove reports whether a conditional move's condition holds.
+func EvalCondMove(op Op, a uint64) bool {
+	switch op {
+	case OpCMOVEQ:
+		return a == 0
+	case OpCMOVNE:
+		return a != 0
+	}
+	return false
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

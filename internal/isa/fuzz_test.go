@@ -1,0 +1,26 @@
+package isa
+
+import "testing"
+
+// FuzzDecode drives arbitrary 32-bit words through the decoder: no input
+// may panic, and anything that decodes must survive a re-encode/re-decode
+// round trip (the encoder canonicalises, so words need not match).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(Encode(Inst{Op: OpADDQ, Ra: 1, Rb: 2, Rc: 3}))
+	f.Add(Encode(Inst{Op: OpLDQ, Ra: 4, Rb: 5, Disp: -8}))
+	f.Add(Encode(Inst{Op: OpBEQ, Ra: 6, Disp: 100}))
+	f.Add(Encode(Inst{Op: OpRET, Rb: 26}))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		inst := Decode(w)
+		_ = inst.String()
+		if inst.Op == OpInvalid {
+			return
+		}
+		again := Decode(Encode(inst))
+		if again != inst {
+			t.Fatalf("re-decode mismatch: %08x -> %+v -> %+v", w, inst, again)
+		}
+	})
+}

@@ -1,0 +1,345 @@
+// Package isa defines the Alpha-like 64-bit RISC instruction set used by the
+// ReStore reproduction: architectural registers, instruction formats, opcode
+// and function-code assignments, and the decoded instruction representation.
+//
+// The instruction set is a faithful subset of what the paper's processor
+// model executes (Section 4.1): integer operate, load/store, and branch
+// instructions, including the overflow-trapping arithmetic variants that feed
+// the paper's "arithmetic overflow" exception symptom. Floating point and
+// synchronising memory operations are deliberately omitted, as in the paper.
+package isa
+
+import "fmt"
+
+// Architectural register file geometry.
+const (
+	// NumRegs is the number of architectural integer registers.
+	NumRegs = 32
+	// WordBits is the width of an architectural register in bits.
+	WordBits = 64
+)
+
+// Reg names an architectural integer register (0..31).
+type Reg uint8
+
+// Conventional register assignments, mirroring the Alpha calling convention.
+const (
+	RegV0   Reg = 0  // function return value
+	RegRA   Reg = 26 // return address
+	RegGP   Reg = 29 // global pointer
+	RegSP   Reg = 30 // stack pointer
+	RegZero Reg = 31 // hardwired zero
+)
+
+// String renders a register in Alpha-style "rN" notation.
+func (r Reg) String() string {
+	if r == RegZero {
+		return "zero"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op identifies a decoded operation. The zero value is OpInvalid so that a
+// corrupted or undecodable instruction word naturally decodes to an invalid
+// operation, which the pipeline turns into an illegal-instruction exception.
+type Op uint8
+
+// Decoded operations.
+const (
+	OpInvalid Op = iota
+
+	// Memory format.
+	OpLDA  // rc <- rb + disp (address calculation, no memory access)
+	OpLDAH // rc <- rb + disp<<16
+	OpLDL  // rc <- sext32(mem32[rb+disp])
+	OpLDQ  // rc <- mem64[rb+disp]
+	OpSTL  // mem32[rb+disp] <- ra
+	OpSTQ  // mem64[rb+disp] <- ra
+
+	// Branch format.
+	OpBR  // unconditional, ra <- return address
+	OpBSR // subroutine call, ra <- return address
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBLE
+	OpBGT
+	OpBGE
+
+	// Jump (memory format with hint).
+	OpJMP // rc <- return address, pc <- rb
+	OpJSR
+	OpRET
+
+	// Integer arithmetic.
+	OpADDQ
+	OpSUBQ
+	OpMULQ
+	OpADDL // 32-bit add, result sign-extended
+	OpSUBL
+	OpADDQV // overflow-trapping variants
+	OpSUBQV
+	OpMULQV
+
+	// Comparisons (result 0/1).
+	OpCMPEQ
+	OpCMPLT
+	OpCMPLE
+	OpCMPULT
+	OpCMPULE
+
+	// Logical.
+	OpAND
+	OpBIS // inclusive or
+	OpXOR
+	OpBIC // and-not
+	OpORNOT
+
+	// Shifts.
+	OpSLL
+	OpSRL
+	OpSRA
+
+	// Conditional moves.
+	OpCMOVEQ // if ra == 0 then rc <- rb
+	OpCMOVNE
+
+	// Miscellaneous.
+	OpHALT
+	OpNOP
+
+	numOps // sentinel; keep last
+)
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	OpLDA:     "lda", OpLDAH: "ldah", OpLDL: "ldl", OpLDQ: "ldq",
+	OpSTL: "stl", OpSTQ: "stq",
+	OpBR: "br", OpBSR: "bsr", OpBEQ: "beq", OpBNE: "bne",
+	OpBLT: "blt", OpBLE: "ble", OpBGT: "bgt", OpBGE: "bge",
+	OpJMP: "jmp", OpJSR: "jsr", OpRET: "ret",
+	OpADDQ: "addq", OpSUBQ: "subq", OpMULQ: "mulq",
+	OpADDL: "addl", OpSUBL: "subl",
+	OpADDQV: "addq/v", OpSUBQV: "subq/v", OpMULQV: "mulq/v",
+	OpCMPEQ: "cmpeq", OpCMPLT: "cmplt", OpCMPLE: "cmple",
+	OpCMPULT: "cmpult", OpCMPULE: "cmpule",
+	OpAND: "and", OpBIS: "bis", OpXOR: "xor", OpBIC: "bic", OpORNOT: "ornot",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra",
+	OpCMOVEQ: "cmoveq", OpCMOVNE: "cmovne",
+	OpHALT: "halt", OpNOP: "nop",
+}
+
+// String returns the mnemonic for the operation.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Class partitions operations by the pipeline resources they use.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassInvalid Class = iota
+	ClassALU           // integer operate, address calc, conditional move
+	ClassMul           // integer multiply (longer latency)
+	ClassBranch        // control transfer
+	ClassLoad
+	ClassStore
+	ClassHalt
+	ClassNop
+)
+
+// classOf maps each operation to its class.
+var classOf = [numOps]Class{
+	OpInvalid: ClassInvalid,
+	OpLDA:     ClassALU, OpLDAH: ClassALU,
+	OpLDL: ClassLoad, OpLDQ: ClassLoad,
+	OpSTL: ClassStore, OpSTQ: ClassStore,
+	OpBR: ClassBranch, OpBSR: ClassBranch,
+	OpBEQ: ClassBranch, OpBNE: ClassBranch,
+	OpBLT: ClassBranch, OpBLE: ClassBranch,
+	OpBGT: ClassBranch, OpBGE: ClassBranch,
+	OpJMP: ClassBranch, OpJSR: ClassBranch, OpRET: ClassBranch,
+	OpADDQ: ClassALU, OpSUBQ: ClassALU, OpMULQ: ClassMul,
+	OpADDL: ClassALU, OpSUBL: ClassALU,
+	OpADDQV: ClassALU, OpSUBQV: ClassALU, OpMULQV: ClassMul,
+	OpCMPEQ: ClassALU, OpCMPLT: ClassALU, OpCMPLE: ClassALU,
+	OpCMPULT: ClassALU, OpCMPULE: ClassALU,
+	OpAND: ClassALU, OpBIS: ClassALU, OpXOR: ClassALU,
+	OpBIC: ClassALU, OpORNOT: ClassALU,
+	OpSLL: ClassALU, OpSRL: ClassALU, OpSRA: ClassALU,
+	OpCMOVEQ: ClassALU, OpCMOVNE: ClassALU,
+	OpHALT: ClassHalt, OpNOP: ClassNop,
+}
+
+// ClassOf returns the resource class for op.
+func ClassOf(op Op) Class {
+	if int(op) < len(classOf) {
+		return classOf[op]
+	}
+	return ClassInvalid
+}
+
+// ValidOp reports whether the numeric value names a defined operation. The
+// pipeline uses it to detect control words corrupted into undefined opcodes.
+func ValidOp(op Op) bool { return op > OpInvalid && op < numOps }
+
+// OpBits is the number of bits needed to store an Op in a packed control
+// word.
+const OpBits = 6
+
+// Inst is a decoded instruction. Fields not used by the operation's format
+// are zero. Register fields follow the Alpha convention: Ra and Rb are
+// sources for operate instructions, Rc is the destination; memory operations
+// use Rb as the base, Ra as the load destination or store source.
+type Inst struct {
+	Op     Op
+	Ra     Reg
+	Rb     Reg
+	Rc     Reg
+	Disp   int32 // sign-extended displacement (memory: 16-bit, branch: 21-bit)
+	Lit    uint8 // 8-bit literal for operate format when UseLit is set
+	UseLit bool
+}
+
+// IsBranch reports whether the instruction transfers control.
+func (i Inst) IsBranch() bool { return ClassOf(i.Op) == ClassBranch }
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsCondBranch() bool {
+	switch i.Op {
+	case OpBEQ, OpBNE, OpBLT, OpBLE, OpBGT, OpBGE:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the branch target comes from a register.
+func (i Inst) IsIndirect() bool {
+	switch i.Op {
+	case OpJMP, OpJSR, OpRET:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction pushes a return address (for RAS
+// maintenance in the front end).
+func (i Inst) IsCall() bool { return i.Op == OpBSR || i.Op == OpJSR }
+
+// IsReturn reports whether the instruction pops a return address.
+func (i Inst) IsReturn() bool { return i.Op == OpRET }
+
+// IsLoad reports whether the instruction reads memory.
+func (i Inst) IsLoad() bool { return ClassOf(i.Op) == ClassLoad }
+
+// IsStore reports whether the instruction writes memory.
+func (i Inst) IsStore() bool { return ClassOf(i.Op) == ClassStore }
+
+// IsMem reports whether the instruction accesses memory.
+func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// MemBytes returns the access size in bytes for memory operations (0
+// otherwise).
+func (i Inst) MemBytes() uint64 {
+	switch i.Op {
+	case OpLDL, OpSTL:
+		return 4
+	case OpLDQ, OpSTQ:
+		return 8
+	}
+	return 0
+}
+
+// TrapsOverflow reports whether the instruction raises an arithmetic
+// overflow exception on signed overflow.
+func (i Inst) TrapsOverflow() bool {
+	switch i.Op {
+	case OpADDQV, OpSUBQV, OpMULQV:
+		return true
+	}
+	return false
+}
+
+// Dest returns the destination register and whether the instruction writes
+// one. Writes to RegZero are discarded by the machine but still reported
+// here; callers that care should check for RegZero.
+func (i Inst) Dest() (Reg, bool) {
+	switch ClassOf(i.Op) {
+	case ClassALU, ClassMul:
+		if i.Op == OpLDA || i.Op == OpLDAH {
+			return i.Ra, true
+		}
+		return i.Rc, true
+	case ClassLoad:
+		return i.Ra, true
+	case ClassBranch:
+		switch i.Op {
+		case OpBR, OpBSR:
+			return i.Ra, true
+		case OpJMP, OpJSR, OpRET:
+			return i.Rc, true
+		}
+	}
+	return 0, false
+}
+
+// Srcs returns the source registers read by the instruction. The second
+// return value counts how many entries of the array are valid.
+func (i Inst) Srcs() ([2]Reg, int) {
+	var s [2]Reg
+	switch ClassOf(i.Op) {
+	case ClassALU, ClassMul:
+		if i.Op == OpLDA || i.Op == OpLDAH {
+			s[0] = i.Rb
+			return s, 1
+		}
+		s[0] = i.Ra
+		if i.UseLit {
+			return s, 1
+		}
+		s[1] = i.Rb
+		return s, 2
+	case ClassLoad:
+		s[0] = i.Rb
+		return s, 1
+	case ClassStore:
+		s[0] = i.Rb // base
+		s[1] = i.Ra // data
+		return s, 2
+	case ClassBranch:
+		if i.IsCondBranch() {
+			s[0] = i.Ra
+			return s, 1
+		}
+		if i.IsIndirect() {
+			s[0] = i.Rb
+			return s, 1
+		}
+	}
+	return s, 0
+}
+
+// String renders the instruction in assembler-like notation.
+func (i Inst) String() string {
+	switch {
+	case i.Op == OpNOP || i.Op == OpHALT:
+		return i.Op.String()
+	case i.Op == OpInvalid:
+		return "invalid"
+	case i.IsMem() || i.Op == OpLDA || i.Op == OpLDAH:
+		dst := i.Ra
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, dst, i.Disp, i.Rb)
+	case i.IsIndirect():
+		return fmt.Sprintf("%s %s, (%s)", i.Op, i.Rc, i.Rb)
+	case i.IsBranch():
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Ra, i.Disp)
+	case i.UseLit:
+		return fmt.Sprintf("%s %s, #%d, %s", i.Op, i.Ra, i.Lit, i.Rc)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Ra, i.Rb, i.Rc)
+	}
+}

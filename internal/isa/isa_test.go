@@ -1,0 +1,328 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allEncodableOps lists every operation that has a defined encoding.
+func allEncodableOps() []Op {
+	var ops []Op
+	for op := Op(1); op < numOps; op++ {
+		if _, ok := encTable[op]; ok {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+func randomInst(rng *rand.Rand) Inst {
+	ops := allEncodableOps()
+	op := ops[rng.Intn(len(ops))]
+	inst := Inst{Op: op}
+	switch ClassOf(op) {
+	case ClassLoad, ClassStore:
+		inst.Ra = Reg(rng.Intn(32))
+		inst.Rb = Reg(rng.Intn(32))
+		inst.Disp = int32(int16(rng.Uint32()))
+	case ClassALU, ClassMul:
+		if op == OpLDA || op == OpLDAH {
+			inst.Ra = Reg(rng.Intn(32))
+			inst.Rb = Reg(rng.Intn(32))
+			inst.Disp = int32(int16(rng.Uint32()))
+			break
+		}
+		inst.Ra = Reg(rng.Intn(32))
+		inst.Rc = Reg(rng.Intn(32))
+		if rng.Intn(2) == 0 {
+			inst.UseLit = true
+			inst.Lit = uint8(rng.Uint32())
+		} else {
+			inst.Rb = Reg(rng.Intn(32))
+		}
+	case ClassBranch:
+		if inst.IsIndirect() {
+			inst.Rb = Reg(rng.Intn(32))
+			inst.Rc = Reg(rng.Intn(32))
+			break
+		}
+		inst.Ra = Reg(rng.Intn(32))
+		inst.Disp = int32(rng.Intn(1<<21)) - (1 << 20)
+	}
+	return inst
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		inst := randomInst(rng)
+		w := Encode(inst)
+		got := Decode(w)
+		if got != inst {
+			t.Fatalf("round trip failed:\n give %+v\n word %08x\n got  %+v", inst, w, got)
+		}
+	}
+}
+
+func TestDecodeInvalidWord(t *testing.T) {
+	tests := []struct {
+		name string
+		word uint32
+	}{
+		{name: "undefined primary", word: 0x07 << 26},
+		{name: "undefined primary all-ones payload", word: 0x07<<26 | 0x03FFFFFF},
+		{name: "undefined inta function", word: pcINTA<<26 | 0x7F<<5},
+		{name: "undefined ints function", word: pcINTS<<26 | 0x60<<5},
+		{name: "undefined misc function", word: pcMisc<<26 | 0x7777},
+		{name: "undefined jump hint", word: pcJMP<<26 | 3<<14},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Decode(tt.word); got.Op != OpInvalid {
+				t.Errorf("Decode(%08x).Op = %v, want OpInvalid", tt.word, got.Op)
+			}
+		})
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	// Property: any 32-bit word decodes without panicking. This matters
+	// because fault injection corrupts instruction latches arbitrarily.
+	f := func(w uint32) bool {
+		_ = Decode(w)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchTargetRoundTrip(t *testing.T) {
+	f := func(pcWords uint32, dispRaw int32) bool {
+		pc := uint64(pcWords%1_000_000) * InstBytes
+		disp := dispRaw % (1 << 20)
+		target := BranchTarget(pc, disp)
+		got, ok := BranchDisp(pc, target)
+		return ok && got == disp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchDispOutOfRange(t *testing.T) {
+	if _, ok := BranchDisp(0, uint64(1<<21+2)*InstBytes); ok {
+		t.Error("expected out-of-range displacement to be rejected")
+	}
+	if _, ok := BranchDisp(0, 2); ok {
+		t.Error("expected misaligned target to be rejected")
+	}
+}
+
+func TestEvalOperateBasics(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{OpADDQ, 2, 3, 5},
+		{OpSUBQ, 2, 3, ^uint64(0)},
+		{OpMULQ, 7, 6, 42},
+		{OpADDL, 0x1_0000_0000, 1, 1},
+		{OpSUBL, 0, 1, ^uint64(0)},
+		{OpCMPEQ, 4, 4, 1},
+		{OpCMPEQ, 4, 5, 0},
+		{OpCMPLT, ^uint64(0), 0, 1}, // -1 < 0 signed
+		{OpCMPULT, ^uint64(0), 0, 0},
+		{OpCMPLE, 3, 3, 1},
+		{OpCMPULE, 4, 3, 0},
+		{OpAND, 0xF0, 0x3C, 0x30},
+		{OpBIS, 0xF0, 0x0F, 0xFF},
+		{OpXOR, 0xFF, 0x0F, 0xF0},
+		{OpBIC, 0xFF, 0x0F, 0xF0},
+		{OpORNOT, 0, 0, ^uint64(0)},
+		{OpSLL, 1, 4, 16},
+		{OpSRL, 16, 4, 1},
+		{OpSRA, ^uint64(0), 8, ^uint64(0)},
+		{OpSLL, 1, 64 + 4, 16}, // shift amounts masked to 6 bits
+	}
+	for _, tt := range tests {
+		got, _ := EvalOperate(tt.op, tt.a, tt.b)
+		if got != tt.want {
+			t.Errorf("EvalOperate(%v, %#x, %#x) = %#x, want %#x", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEvalOperateOverflow(t *testing.T) {
+	const maxInt = uint64(1<<63 - 1)
+	tests := []struct {
+		op           Op
+		a, b         uint64
+		wantOverflow bool
+	}{
+		{OpADDQV, maxInt, 1, true},
+		{OpADDQV, 1, 2, false},
+		{OpADDQV, 1 << 63, 1 << 63, true}, // minInt + minInt
+		{OpSUBQV, 1 << 63, 1, true},       // minInt - 1
+		{OpSUBQV, 5, 3, false},
+		{OpMULQV, maxInt, 2, true},
+		{OpMULQV, 1 << 32, 1 << 32, true},
+		{OpMULQV, 3, 4, false},
+		{OpMULQV, 0, maxInt, false},
+		{OpADDQ, maxInt, 1, false}, // non-trapping never reports
+	}
+	for _, tt := range tests {
+		_, ov := EvalOperate(tt.op, tt.a, tt.b)
+		if ov != tt.wantOverflow {
+			t.Errorf("EvalOperate(%v, %#x, %#x) overflow = %v, want %v",
+				tt.op, tt.a, tt.b, ov, tt.wantOverflow)
+		}
+	}
+}
+
+func TestEvalCondBranch(t *testing.T) {
+	neg := ^uint64(0) // -1
+	tests := []struct {
+		op   Op
+		a    uint64
+		want bool
+	}{
+		{OpBEQ, 0, true}, {OpBEQ, 1, false},
+		{OpBNE, 0, false}, {OpBNE, 7, true},
+		{OpBLT, neg, true}, {OpBLT, 0, false},
+		{OpBLE, 0, true}, {OpBLE, 1, false},
+		{OpBGT, 1, true}, {OpBGT, 0, false},
+		{OpBGE, 0, true}, {OpBGE, neg, false},
+		{OpADDQ, 0, false}, // non-branch op: never taken
+	}
+	for _, tt := range tests {
+		if got := EvalCondBranch(tt.op, tt.a); got != tt.want {
+			t.Errorf("EvalCondBranch(%v, %#x) = %v, want %v", tt.op, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestEvalCondMove(t *testing.T) {
+	if !EvalCondMove(OpCMOVEQ, 0) || EvalCondMove(OpCMOVEQ, 1) {
+		t.Error("CMOVEQ condition wrong")
+	}
+	if EvalCondMove(OpCMOVNE, 0) || !EvalCondMove(OpCMOVNE, 1) {
+		t.Error("CMOVNE condition wrong")
+	}
+	if EvalCondMove(OpADDQ, 0) {
+		t.Error("non-cmov op should never move")
+	}
+}
+
+func TestInstPredicates(t *testing.T) {
+	tests := []struct {
+		inst       Inst
+		branch     bool
+		condBranch bool
+		indirect   bool
+		call       bool
+		ret        bool
+		load       bool
+		store      bool
+	}{
+		{inst: Inst{Op: OpBEQ}, branch: true, condBranch: true},
+		{inst: Inst{Op: OpBR}, branch: true},
+		{inst: Inst{Op: OpBSR}, branch: true, call: true},
+		{inst: Inst{Op: OpJSR}, branch: true, indirect: true, call: true},
+		{inst: Inst{Op: OpRET}, branch: true, indirect: true, ret: true},
+		{inst: Inst{Op: OpLDQ}, load: true},
+		{inst: Inst{Op: OpSTL}, store: true},
+		{inst: Inst{Op: OpADDQ}},
+	}
+	for _, tt := range tests {
+		i := tt.inst
+		if i.IsBranch() != tt.branch || i.IsCondBranch() != tt.condBranch ||
+			i.IsIndirect() != tt.indirect || i.IsCall() != tt.call ||
+			i.IsReturn() != tt.ret || i.IsLoad() != tt.load || i.IsStore() != tt.store {
+			t.Errorf("predicates wrong for %v", i.Op)
+		}
+	}
+}
+
+func TestDestAndSrcs(t *testing.T) {
+	add := Inst{Op: OpADDQ, Ra: 1, Rb: 2, Rc: 3}
+	if d, ok := add.Dest(); !ok || d != 3 {
+		t.Errorf("ADDQ dest = %v,%v want r3", d, ok)
+	}
+	if s, n := add.Srcs(); n != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("ADDQ srcs = %v,%d", s, n)
+	}
+
+	addLit := Inst{Op: OpADDQ, Ra: 1, UseLit: true, Lit: 9, Rc: 3}
+	if s, n := addLit.Srcs(); n != 1 || s[0] != 1 {
+		t.Errorf("ADDQ-lit srcs = %v,%d", s, n)
+	}
+
+	ld := Inst{Op: OpLDQ, Ra: 4, Rb: 5}
+	if d, ok := ld.Dest(); !ok || d != 4 {
+		t.Errorf("LDQ dest = %v,%v want r4", d, ok)
+	}
+	if s, n := ld.Srcs(); n != 1 || s[0] != 5 {
+		t.Errorf("LDQ srcs = %v,%d", s, n)
+	}
+
+	st := Inst{Op: OpSTQ, Ra: 4, Rb: 5}
+	if _, ok := st.Dest(); ok {
+		t.Error("STQ should have no dest")
+	}
+	if s, n := st.Srcs(); n != 2 || s[0] != 5 || s[1] != 4 {
+		t.Errorf("STQ srcs = %v,%d", s, n)
+	}
+
+	bsr := Inst{Op: OpBSR, Ra: 26}
+	if d, ok := bsr.Dest(); !ok || d != 26 {
+		t.Errorf("BSR dest = %v,%v want r26", d, ok)
+	}
+
+	beq := Inst{Op: OpBEQ, Ra: 7}
+	if _, ok := beq.Dest(); ok {
+		t.Error("BEQ should have no dest")
+	}
+	if s, n := beq.Srcs(); n != 1 || s[0] != 7 {
+		t.Errorf("BEQ srcs = %v,%d", s, n)
+	}
+
+	ret := Inst{Op: OpRET, Rb: 26, Rc: 31}
+	if s, n := ret.Srcs(); n != 1 || s[0] != 26 {
+		t.Errorf("RET srcs = %v,%d", s, n)
+	}
+
+	lda := Inst{Op: OpLDA, Ra: 2, Rb: 30, Disp: -16}
+	if d, ok := lda.Dest(); !ok || d != 2 {
+		t.Errorf("LDA dest = %v,%v want r2", d, ok)
+	}
+	if s, n := lda.Srcs(); n != 1 || s[0] != 30 {
+		t.Errorf("LDA srcs = %v,%d", s, n)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	if (Inst{Op: OpLDL}).MemBytes() != 4 || (Inst{Op: OpSTQ}).MemBytes() != 8 {
+		t.Error("MemBytes wrong for memory ops")
+	}
+	if (Inst{Op: OpADDQ}).MemBytes() != 0 {
+		t.Error("MemBytes should be 0 for non-memory ops")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	// Smoke test: every encodable op renders without panicking and
+	// non-empty.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		inst := randomInst(rng)
+		if inst.String() == "" {
+			t.Fatalf("empty rendering for %+v", inst)
+		}
+	}
+	if Reg(31).String() != "zero" || Reg(5).String() != "r5" {
+		t.Error("register rendering wrong")
+	}
+}

@@ -1,0 +1,64 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// Control words: after decode, instructions travel down the pipeline as a
+// packed 52-bit "control word" held in ROB latches. These are exactly the
+// "control word latches within the pipeline" that the paper's low-hanging-
+// fruit hardening protects with parity (Section 5.2.2): a bit flip here
+// silently changes the opcode, a register specifier, or the displacement of
+// an in-flight instruction.
+//
+// Layout (low to high):
+//
+//	[5:0]   op        (isa.Op numeric value)
+//	[10:6]  ra
+//	[15:11] rb
+//	[20:16] rc
+//	[21]    useLit
+//	[29:22] lit
+//	[50:30] disp (21-bit two's complement)
+//	[51]    fetchFault (pseudo-op: instruction fetch itself faulted)
+const ctlBits = 52
+
+const ctlFetchFaultBit = 51
+
+func packCtl(inst isa.Inst) uint64 {
+	w := uint64(inst.Op) & 0x3F
+	w |= uint64(inst.Ra&31) << 6
+	w |= uint64(inst.Rb&31) << 11
+	w |= uint64(inst.Rc&31) << 16
+	if inst.UseLit {
+		w |= 1 << 21
+	}
+	w |= uint64(inst.Lit) << 22
+	w |= (uint64(uint32(inst.Disp)) & 0x1FFFFF) << 30
+	return w
+}
+
+func packFetchFault() uint64 { return 1 << ctlFetchFaultBit }
+
+func ctlIsFetchFault(w uint64) bool { return w&(1<<ctlFetchFaultBit) != 0 }
+
+func unpackCtl(w uint64) isa.Inst {
+	op := isa.Op(w & 0x3F)
+	if !isa.ValidOp(op) {
+		// A corrupted opcode field becomes an undefined operation; the
+		// pipeline raises an illegal-instruction exception when it
+		// reaches commit, just as corrupted decode latches do in real
+		// hardware.
+		return isa.Inst{}
+	}
+	disp21 := uint32((w >> 30) & 0x1FFFFF)
+	// Sign-extend 21 bits.
+	disp := int32(disp21<<11) >> 11
+	return isa.Inst{
+		Op:     op,
+		Ra:     isa.Reg((w >> 6) & 31),
+		Rb:     isa.Reg((w >> 11) & 31),
+		Rc:     isa.Reg((w >> 16) & 31),
+		UseLit: w&(1<<21) != 0,
+		Lit:    uint8((w >> 22) & 0xFF),
+		Disp:   disp,
+	}
+}

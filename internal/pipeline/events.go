@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// Status describes whether the machine can keep executing.
+type Status uint8
+
+// Pipeline states.
+const (
+	// StatusRunning means the pipeline can accept more cycles.
+	StatusRunning Status = iota + 1
+	// StatusHalted means a HALT instruction committed.
+	StatusHalted
+	// StatusExcepted means an ISA exception reached commit. In a plain
+	// pipeline this stops the machine (an OS would take over); under
+	// ReStore it triggers a checkpoint rollback instead.
+	StatusExcepted
+	// StatusDeadlocked means the watchdog timer saturated: no instruction
+	// committed within the configured budget (Section 4.2's deadlock /
+	// livelock detector).
+	StatusDeadlocked
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusHalted:
+		return "halted"
+	case StatusExcepted:
+		return "excepted"
+	case StatusDeadlocked:
+		return "deadlocked"
+	}
+	return "unknown"
+}
+
+// CommitEvent describes one retired instruction, in exactly the vocabulary
+// the architectural comparator needs: identity, register result, memory
+// effect, control flow, and exception.
+type CommitEvent struct {
+	Cycle uint64
+	Index uint64 // retirement sequence number
+	PC    uint64
+	Inst  isa.Inst
+
+	Exception arch.ExceptionKind
+	ExcAddr   uint64
+
+	HasDest  bool
+	DestArch isa.Reg
+	DestVal  uint64
+
+	IsLoad    bool
+	IsStore   bool
+	MemAddr   uint64
+	StoreVal  uint64
+	StoreSize uint8
+
+	IsBranch bool
+	Taken    bool
+	Target   uint64 // next PC after the instruction
+
+	Halted bool
+}
+
+// BranchEvent fires when a branch resolves in the execution core. A
+// mispredicted high-confidence conditional branch is the ReStore control-
+// flow symptom (Section 3.2.2). Resolution can be on the wrong path of an
+// earlier misprediction; symptom consumers see exactly what the hardware
+// would.
+type BranchEvent struct {
+	Cycle        uint64
+	PC           uint64
+	IsCond       bool
+	PredTaken    bool
+	ActualTaken  bool
+	PredTarget   uint64
+	ActualTarget uint64
+	Mispredicted bool
+	HighConf     bool
+}
+
+// Symptom reports whether the event is a ReStore rollback trigger.
+func (e BranchEvent) Symptom() bool {
+	return e.Mispredicted && e.IsCond && e.HighConf
+}
+
+// Stats accumulates pipeline counters.
+type Stats struct {
+	Cycles                   uint64
+	Retired                  uint64
+	Fetched                  uint64
+	Dispatched               uint64
+	Issued                   uint64
+	Branches                 uint64 // retired branches
+	CondBranches             uint64 // retired conditional branches
+	Mispredicts              uint64 // resolved mispredictions (including wrong path)
+	CondMispredicts          uint64 // resolved conditional-branch mispredictions
+	CommittedCondMispredicts uint64 // committed (genuine) conditional mispredictions
+	HCMispredicts            uint64 // resolved high-confidence cond mispredictions
+	Flushes                  uint64
+	LoadsIssued              uint64
+	StoresRetired            uint64
+	ICacheMisses             uint64
+	DCacheMisses             uint64
+	L2Misses                 uint64
+	MemOrderViolations       uint64 // speculative loads replayed past conflicting stores
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}

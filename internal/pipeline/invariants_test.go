@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestInvariantsHoldDuringFaultFreeRuns(t *testing.T) {
+	for _, bench := range workload.Benchmarks() {
+		bench := bench
+		t.Run(string(bench), func(t *testing.T) {
+			p := newBenchPipeline(t, bench, DefaultConfig())
+			for i := 0; i < 60; i++ {
+				p.RunCycles(250)
+				if p.Status() != StatusRunning {
+					t.Fatalf("pipeline stopped: %v", p.Status())
+				}
+				if err := p.CheckInvariants(); err != nil {
+					t.Fatalf("cycle %d: %v", p.Cycles(), err)
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantsHoldAfterReset(t *testing.T) {
+	p := newBenchPipeline(t, workload.GCC, DefaultConfig())
+	p.RunCycles(4000)
+	regs := p.ArchRegs()
+	pc := p.CommitPC()
+	p.Reset(regs, pc)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+	p.RunCycles(4000)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("after resumed run: %v", err)
+	}
+}
+
+func TestInvariantsDetectCorruption(t *testing.T) {
+	// The checker must actually catch broken structures — corrupt the
+	// free list so a mapped register appears free.
+	p := newBenchPipeline(t, workload.Gzip, DefaultConfig())
+	p.RunCycles(2000)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("clean state flagged: %v", err)
+	}
+	mapped := p.archRAT.get(1)
+	p.free.free(mapped)
+	if err := p.CheckInvariants(); err == nil {
+		t.Fatal("free/live conflict not detected")
+	}
+}

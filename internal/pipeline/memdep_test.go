@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/workload"
+)
+
+// conflictProgram builds a loop where a store's address resolves late (a
+// multiply chain) while a younger load of the SAME location has its address
+// ready immediately: a speculative load issues past the store, reads stale
+// memory, and must be replayed when the store resolves.
+func conflictProgram(t *testing.T) *workload.Program {
+	t.Helper()
+	return asm.MustAssemble("conflict", `
+		.data buf 256
+		.base r10 buf
+		.imm  r1 3
+	loop:
+		mulq r1, #3, r1      ; long-latency chain...
+		mulq r1, #5, r2
+		mulq r2, #7, r2
+		and  r2, #0, r7      ; ...producing zero, late
+		addq r10, r7, r8     ; late copy of the buffer pointer
+		stq  r1, 0(r8)       ; store address resolves late
+		ldq  r5, 0(r10)      ; same location, address ready immediately
+		addq r6, r5, r6
+		br   loop
+	`)
+}
+
+func TestMemOrderViolationReplay(t *testing.T) {
+	prog := conflictProgram(t)
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockstep(t, p, prog) // architectural correctness despite replays
+	p.RunRetired(5_000, 200_000)
+	if t.Failed() {
+		return
+	}
+	s := p.Stats()
+	if s.MemOrderViolations == 0 {
+		t.Fatal("no memory-order violations on a crafted store-load conflict")
+	}
+	// The wait table must learn: without training, every one of the
+	// ~500 loop iterations would violate.
+	if s.MemOrderViolations > s.Retired/9/4 {
+		t.Errorf("wait table did not learn: %d violations in %d insts",
+			s.MemOrderViolations, s.Retired)
+	}
+	t.Logf("violations=%d retired=%d", s.MemOrderViolations, s.Retired)
+}
+
+func TestMemDepSpeculationHelps(t *testing.T) {
+	run := func(spec bool) Stats {
+		cfg := DefaultConfig()
+		cfg.MemDepSpeculation = spec
+		p := newBenchPipeline(t, workload.Vortex, cfg)
+		p.RunRetired(60_000, 2_000_000)
+		return p.Stats()
+	}
+	with := run(true)
+	without := run(false)
+	t.Logf("speculation: ipc=%.3f violations=%d; conservative: ipc=%.3f",
+		with.IPC(), with.MemOrderViolations, without.IPC())
+	if with.IPC() <= without.IPC() {
+		t.Errorf("memory-dependence speculation did not help: %.3f vs %.3f",
+			with.IPC(), without.IPC())
+	}
+	if without.MemOrderViolations != 0 {
+		t.Error("conservative mode cannot have violations")
+	}
+}
+
+func TestMemDepDisabledStillCorrect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemDepSpeculation = false
+	prog := workload.MustGenerate(workload.Vortex, workload.Config{Seed: 42, Scale: 0.25})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(cfg, m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockstep(t, p, prog)
+	p.RunRetired(20_000, 400_000)
+}
+
+func TestMemDepConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemDepBits = 0
+	if _, err := New(cfg, nil, 0); err == nil {
+		t.Error("zero wait-table size accepted with speculation on")
+	}
+	cfg = DefaultConfig()
+	cfg.MemDepDecayCycles = 0
+	if _, err := New(cfg, nil, 0); err == nil {
+		t.Error("zero decay period accepted with speculation on")
+	}
+}

@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSoakLockstep runs every benchmark in architectural lockstep for an
+// extended window at full workload scale — the strongest single statement
+// that the detailed pipeline implements the ISA exactly. Skipped under
+// -short.
+func TestSoakLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, bench := range workload.Benchmarks() {
+		bench := bench
+		t.Run(string(bench), func(t *testing.T) {
+			prog := workload.MustGenerate(bench, workload.Config{Seed: 1337})
+			m, err := prog.NewMemory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := New(DefaultConfig(), m, prog.Entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lockstep(t, p, prog)
+			retired := p.RunRetired(500_000, 5_000_000)
+			if t.Failed() {
+				return
+			}
+			if p.Status() != StatusRunning || retired < 500_000 {
+				t.Fatalf("stopped after %d: %v", retired, p.Status())
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d insts, IPC %.2f", bench, retired, p.Stats().IPC())
+		})
+	}
+}
+
+// TestSoakRandomFlips hammers the no-panic property harder than the unit
+// test: hundreds of flips across benchmarks. Skipped under -short.
+func TestSoakRandomFlips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, bench := range []workload.Benchmark{workload.MCF, workload.GCC, workload.Bzip2} {
+		base := newBenchPipeline(t, bench, DefaultConfig())
+		base.RunCycles(5000)
+		rng := newSeededRand(t, bench)
+		for trial := 0; trial < 120; trial++ {
+			p := base.Clone()
+			p.RunCycles(uint64(rng.Intn(300)))
+			ref, _ := p.State().NthBit(uint64(rng.Int63n(int64(p.State().TotalBits(false)))))
+			p.State().Flip(ref)
+			p.RunCycles(3000)
+		}
+	}
+}
+
+func newSeededRand(t *testing.T, bench workload.Benchmark) *rand.Rand {
+	t.Helper()
+	h := int64(0)
+	for _, c := range string(bench) {
+		h = h*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(h))
+}

@@ -1,0 +1,206 @@
+// Package pipeline implements the detailed processor model of the paper's
+// Section 4.1: a superscalar, dynamically scheduled, 12-stage pipeline in
+// the class of the Alpha 21264 / AMD Athlon, with up to 132 instructions in
+// flight, a 32-entry scheduler, a 64-entry reorder buffer, register renaming
+// through speculative and architectural register alias tables, a store
+// queue, sophisticated branch prediction with JRS confidence estimation, and
+// a watchdog timer.
+//
+// It replaces the authors' latch-level Verilog model. What makes it usable
+// for the paper's statistical fault-injection campaigns is its explicit
+// state-element model: every latch and SRAM bit of the machine is registered
+// in a StateSpace that the injector can enumerate, sample uniformly, and
+// flip (Section 4.2's fault model), and that golden-run comparison can hash.
+package pipeline
+
+// Kind distinguishes pipeline latches from SRAM arrays. The distinction
+// drives the Section 5.1.2 latch-only campaign and the Section 5.2.2
+// "low-hanging fruit" hardening, which protects SRAMs with ECC and control
+// latches with parity.
+type Kind uint8
+
+// State element kinds.
+const (
+	// KindLatch is a pipeline latch or register: state that is rewritten
+	// nearly every cycle as instructions flow past.
+	KindLatch Kind = iota + 1
+	// KindSRAM is an SRAM array cell: register file, alias tables, and
+	// similar structures with decoded read/write ports.
+	KindSRAM
+)
+
+// Class distinguishes control state from data values, which determines the
+// protection scheme the hardened pipeline applies (parity on control words,
+// ECC on data stores).
+type Class uint8
+
+// State element classes.
+const (
+	// ClassControl covers decoded instruction words, flags, pointers and
+	// other bookkeeping.
+	ClassControl Class = iota + 1
+	// ClassData covers 64-bit data values: register contents, store
+	// data, addresses in flight.
+	ClassData
+)
+
+// Element is one injectable state word. Bits declares how many low-order
+// bits of the word are real hardware state; flips and hashes are confined to
+// that width.
+type Element struct {
+	Name  string
+	Kind  Kind
+	Class Class
+	Bits  uint8
+
+	word *uint64
+}
+
+// Mask returns the valid-bit mask for the element.
+func (e *Element) Mask() uint64 {
+	if e.Bits >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << e.Bits) - 1
+}
+
+// StateSpace is the registry of all injectable state in one pipeline
+// instance.
+type StateSpace struct {
+	elems []Element
+
+	totalBits      uint64
+	latchBits      uint64
+	cumulativeBits []uint64 // prefix sums over elems, for uniform sampling
+	dirty          bool
+}
+
+// Register adds a state word. Words must stay valid for the lifetime of the
+// space (they are fields of pipeline structures).
+func (s *StateSpace) Register(name string, kind Kind, class Class, word *uint64, bits int) {
+	if bits <= 0 || bits > 64 {
+		panic("pipeline: element width out of range")
+	}
+	s.elems = append(s.elems, Element{
+		Name:  name,
+		Kind:  kind,
+		Class: class,
+		Bits:  uint8(bits),
+		word:  word,
+	})
+	s.dirty = true
+}
+
+func (s *StateSpace) reindex() {
+	if !s.dirty {
+		return
+	}
+	s.totalBits, s.latchBits = 0, 0
+	s.cumulativeBits = make([]uint64, len(s.elems)+1)
+	for i := range s.elems {
+		s.cumulativeBits[i] = s.totalBits
+		s.totalBits += uint64(s.elems[i].Bits)
+		if s.elems[i].Kind == KindLatch {
+			s.latchBits += uint64(s.elems[i].Bits)
+		}
+	}
+	s.cumulativeBits[len(s.elems)] = s.totalBits
+	s.dirty = false
+}
+
+// Elements returns the registered elements (shared slice; do not mutate).
+func (s *StateSpace) Elements() []Element { return s.elems }
+
+// TotalBits returns the number of injectable bits, optionally restricted to
+// latches.
+func (s *StateSpace) TotalBits(latchesOnly bool) uint64 {
+	s.reindex()
+	if latchesOnly {
+		return s.latchBits
+	}
+	return s.totalBits
+}
+
+// BitRef identifies a single bit of a single element.
+type BitRef struct {
+	Elem int
+	Bit  uint8
+}
+
+// NthBit maps a flat bit index in [0, TotalBits(false)) to a BitRef,
+// enabling uniform sampling across all state.
+func (s *StateSpace) NthBit(n uint64) (BitRef, bool) {
+	s.reindex()
+	if n >= s.totalBits {
+		return BitRef{}, false
+	}
+	// Binary search the prefix sums.
+	lo, hi := 0, len(s.elems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cumulativeBits[mid+1] <= n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return BitRef{Elem: lo, Bit: uint8(n - s.cumulativeBits[lo])}, true
+}
+
+// Flip inverts the referenced bit in place, returning the element affected.
+func (s *StateSpace) Flip(ref BitRef) *Element {
+	e := &s.elems[ref.Elem]
+	*e.word ^= 1 << (ref.Bit % 64)
+	return e
+}
+
+// Peek reports the current value of the referenced bit.
+func (s *StateSpace) Peek(ref BitRef) bool {
+	e := &s.elems[ref.Elem]
+	return *e.word&(1<<(ref.Bit%64)) != 0
+}
+
+// Hash digests all registered state (masked to declared widths) with an
+// FNV-style accumulator. Equal hashes on the same pipeline configuration
+// mean — with overwhelming probability — equal microarchitectural state,
+// which is how trials detect that an injected fault has been fully masked.
+func (s *StateSpace) Hash() uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for i := range s.elems {
+		e := &s.elems[i]
+		h = mix64(h ^ (*e.word & e.Mask()))
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finaliser: full avalanche per state word so that
+// structured, mostly-zero pipeline state still hashes collision-resistantly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Snapshot copies all state words out; Restore writes them back. Used by
+// golden-trace caching to rewind a pipeline to an injection point without
+// re-running from the start.
+func (s *StateSpace) Snapshot() []uint64 {
+	out := make([]uint64, len(s.elems))
+	for i := range s.elems {
+		out[i] = *s.elems[i].word
+	}
+	return out
+}
+
+// Restore writes a snapshot produced by Snapshot back into the live words.
+func (s *StateSpace) Restore(snap []uint64) {
+	if len(snap) != len(s.elems) {
+		panic("pipeline: snapshot size mismatch")
+	}
+	for i := range s.elems {
+		*s.elems[i].word = snap[i]
+	}
+}

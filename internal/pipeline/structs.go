@@ -1,0 +1,406 @@
+package pipeline
+
+// The stateful structures of the machine. Every word that models hardware
+// state is a uint64 field registered in the StateSpace, so campaigns can
+// flip any bit of any structure (except caches and predictor tables, which
+// the paper excludes). Index fields are masked at every use: a corrupted
+// pointer aliases to a wrong-but-valid entry exactly as mis-addressed
+// hardware would, and can never crash the simulator.
+
+// Fetch-queue pred-word bit positions (target occupies [47:0], the
+// fetch-time global history [61:52]).
+const (
+	fqPredTaken  = 48
+	fqPredConf   = 49
+	fqPredBranch = 50
+	fqFetchFault = 51
+	fqHistShift  = 52
+	fqPredBits   = 62
+)
+
+// fetchQueue sits between the fetch engine and rename (Figure 3's 32-entry
+// fetch queue). Entries hold the raw instruction word — the I-latches — plus
+// the front end's prediction metadata.
+type fetchQueue struct {
+	pc   [FQSize]uint64
+	word [FQSize]uint64
+	pred [FQSize]uint64
+
+	head  uint64
+	count uint64
+}
+
+func (q *fetchQueue) register(s *StateSpace) {
+	for i := range q.pc {
+		s.Register("fq.pc", KindLatch, ClassControl, &q.pc[i], 48)
+		s.Register("fq.word", KindLatch, ClassControl, &q.word[i], 32)
+		s.Register("fq.pred", KindLatch, ClassControl, &q.pred[i], fqPredBits)
+	}
+	s.Register("fq.head", KindLatch, ClassControl, &q.head, 5)
+	s.Register("fq.count", KindLatch, ClassControl, &q.count, 6)
+}
+
+func (q *fetchQueue) reset() {
+	*q = fetchQueue{}
+}
+
+func (q *fetchQueue) full() bool  { return q.count >= FQSize }
+func (q *fetchQueue) empty() bool { return q.count == 0 }
+
+func (q *fetchQueue) push(pc, word, pred uint64) {
+	if q.full() {
+		return
+	}
+	idx := (q.head + q.count) % FQSize
+	q.pc[idx] = pc
+	q.word[idx] = word
+	q.pred[idx] = pred
+	q.count++
+}
+
+func (q *fetchQueue) pop() (pc, word, pred uint64, ok bool) {
+	if q.empty() {
+		return 0, 0, 0, false
+	}
+	idx := q.head % FQSize
+	pc, word, pred = q.pc[idx], q.word[idx], q.pred[idx]
+	q.head = (q.head + 1) % FQSize
+	q.count--
+	return pc, word, pred, true
+}
+
+// ROB flag bits.
+const (
+	robValid      = 1 << 0
+	robCompleted  = 1 << 1
+	robHasDest    = 1 << 2
+	robIsStore    = 1 << 3
+	robIsLoad     = 1 << 4
+	robIsBranch   = 1 << 5
+	robIsCond     = 1 << 6
+	robPredTaken  = 1 << 7
+	robActTaken   = 1 << 8
+	robHighConf   = 1 << 9
+	robFetchFault = 1 << 10
+	robHalt       = 1 << 11
+	robExcValid   = 1 << 12
+	robMispredict = 1 << 13
+	// bits 16..18 hold the exception kind, bits 24..33 the fetch-time
+	// global branch history the prediction was made with.
+	robExcShift  = 16
+	robHistShift = 24
+	robFlagBits  = 34
+)
+
+// reorderBuffer is the 64-entry ROB. The aux word packs the store-queue
+// index (or, for loads, the STQ tail snapshot used for disambiguation) in
+// its low byte and the predicted target above it.
+type reorderBuffer struct {
+	ctl      [ROBSize]uint64 // packed control word (decode latches)
+	pc       [ROBSize]uint64
+	flags    [ROBSize]uint64
+	physDest [ROBSize]uint64
+	oldPhys  [ROBSize]uint64
+	archDest [ROBSize]uint64
+	result   [ROBSize]uint64 // actual branch target / memory address / exception address
+	aux      [ROBSize]uint64 // stq index (low 8) | predicted target << 8
+
+	head  uint64
+	count uint64
+}
+
+func (r *reorderBuffer) register(s *StateSpace) {
+	for i := range r.ctl {
+		s.Register("rob.ctl", KindLatch, ClassControl, &r.ctl[i], ctlBits)
+		s.Register("rob.pc", KindLatch, ClassControl, &r.pc[i], 48)
+		s.Register("rob.flags", KindLatch, ClassControl, &r.flags[i], robFlagBits)
+		s.Register("rob.physDest", KindLatch, ClassControl, &r.physDest[i], 7)
+		s.Register("rob.oldPhys", KindLatch, ClassControl, &r.oldPhys[i], 7)
+		s.Register("rob.archDest", KindLatch, ClassControl, &r.archDest[i], 5)
+		s.Register("rob.result", KindLatch, ClassData, &r.result[i], 48)
+		s.Register("rob.aux", KindLatch, ClassControl, &r.aux[i], 56)
+	}
+	s.Register("rob.head", KindLatch, ClassControl, &r.head, 6)
+	s.Register("rob.count", KindLatch, ClassControl, &r.count, 7)
+}
+
+func (r *reorderBuffer) reset() { *r = reorderBuffer{} }
+
+func (r *reorderBuffer) full() bool { return r.count >= ROBSize }
+
+// pos converts a ROB slot index into its distance from the head; entries
+// with pos >= count are not live.
+func (r *reorderBuffer) pos(idx uint64) uint64 {
+	return (idx - r.head) % ROBSize
+}
+
+func (r *reorderBuffer) alloc() (uint64, bool) {
+	if r.full() {
+		return 0, false
+	}
+	idx := (r.head + r.count) % ROBSize
+	r.count++
+	return idx, true
+}
+
+// Scheduler flag bits.
+const (
+	schValid   = 1 << 0
+	schSrc1    = 1 << 1 // src1 present
+	schSrc2    = 1 << 2
+	schSrc3    = 1 << 3
+	schIsLoad  = 1 << 4
+	schIsStore = 1 << 5
+	schIsBr    = 1 << 6
+	schIsMul   = 1 << 7
+	schFlgBits = 8
+)
+
+// scheduler is the 32-entry out-of-order issue window. Source operands are
+// physical-register tags; readiness is checked against the register file's
+// ready bits every cycle (the wakeup CAM).
+type scheduler struct {
+	flags  [SchedSize]uint64
+	robIdx [SchedSize]uint64
+	src1   [SchedSize]uint64
+	src2   [SchedSize]uint64
+	src3   [SchedSize]uint64 // previous dest mapping, for conditional moves
+}
+
+func (sc *scheduler) register(s *StateSpace) {
+	for i := range sc.flags {
+		s.Register("sched.flags", KindLatch, ClassControl, &sc.flags[i], schFlgBits)
+		s.Register("sched.robIdx", KindLatch, ClassControl, &sc.robIdx[i], 6)
+		s.Register("sched.src1", KindLatch, ClassControl, &sc.src1[i], 7)
+		s.Register("sched.src2", KindLatch, ClassControl, &sc.src2[i], 7)
+		s.Register("sched.src3", KindLatch, ClassControl, &sc.src3[i], 7)
+	}
+}
+
+func (sc *scheduler) reset() { *sc = scheduler{} }
+
+func (sc *scheduler) alloc() (int, bool) {
+	for i := range sc.flags {
+		if sc.flags[i]&schValid == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// STQ flag bits.
+const (
+	stqValid    = 1 << 0
+	stqReady    = 1 << 1
+	stqIsSTL    = 1 << 2
+	stqExcValid = 1 << 3
+	stqExcShift = 4
+	stqFlgBits  = 7
+)
+
+// storeQueue holds in-flight stores in program order between rename and
+// commit; committed stores drain to memory through the (journalled)
+// checkpoint domain.
+type storeQueue struct {
+	addr   [STQSize]uint64
+	data   [STQSize]uint64
+	flags  [STQSize]uint64
+	robIdx [STQSize]uint64 // owning ROB entry, for age comparison
+
+	head  uint64
+	count uint64
+}
+
+func (q *storeQueue) register(s *StateSpace) {
+	for i := range q.addr {
+		s.Register("stq.addr", KindLatch, ClassData, &q.addr[i], 48)
+		s.Register("stq.data", KindLatch, ClassData, &q.data[i], 64)
+		s.Register("stq.flags", KindLatch, ClassControl, &q.flags[i], stqFlgBits)
+		s.Register("stq.robIdx", KindLatch, ClassControl, &q.robIdx[i], 6)
+	}
+	s.Register("stq.head", KindLatch, ClassControl, &q.head, 4)
+	s.Register("stq.count", KindLatch, ClassControl, &q.count, 5)
+}
+
+func (q *storeQueue) reset() { *q = storeQueue{} }
+
+func (q *storeQueue) full() bool { return q.count >= STQSize }
+
+func (q *storeQueue) alloc() (uint64, bool) {
+	if q.full() {
+		return 0, false
+	}
+	idx := (q.head + q.count) % STQSize
+	q.flags[idx] = stqValid
+	q.addr[idx] = 0
+	q.data[idx] = 0
+	q.count++
+	return idx, true
+}
+
+// LDQ flag bits.
+const (
+	ldqValid   = 1 << 0
+	ldqIssued  = 1 << 1
+	ldqFwd     = 1 << 2 // value was forwarded from an older store
+	ldqSize8   = 1 << 3 // 8-byte access (else 4)
+	ldqFlgBits = 4
+)
+
+// loadQueue tracks in-flight loads in program order (Figure 3's LDQ). Its
+// job under memory-dependence speculation is violation detection: a
+// resolving store searches it for younger loads that already read the
+// location.
+type loadQueue struct {
+	addr   [LDQSize]uint64
+	robIdx [LDQSize]uint64
+	fwdRob [LDQSize]uint64 // forwarding store's ROB entry, when ldqFwd
+	flags  [LDQSize]uint64
+
+	head  uint64
+	count uint64
+}
+
+func (q *loadQueue) register(s *StateSpace) {
+	for i := range q.addr {
+		s.Register("ldq.addr", KindLatch, ClassData, &q.addr[i], 48)
+		s.Register("ldq.robIdx", KindLatch, ClassControl, &q.robIdx[i], 6)
+		s.Register("ldq.fwdRob", KindLatch, ClassControl, &q.fwdRob[i], 6)
+		s.Register("ldq.flags", KindLatch, ClassControl, &q.flags[i], ldqFlgBits)
+	}
+	s.Register("ldq.head", KindLatch, ClassControl, &q.head, 4)
+	s.Register("ldq.count", KindLatch, ClassControl, &q.count, 5)
+}
+
+func (q *loadQueue) reset() { *q = loadQueue{} }
+
+func (q *loadQueue) full() bool { return q.count >= LDQSize }
+
+func (q *loadQueue) alloc() (uint64, bool) {
+	if q.full() {
+		return 0, false
+	}
+	idx := (q.head + q.count) % LDQSize
+	q.flags[idx] = ldqValid
+	q.addr[idx] = 0
+	q.fwdRob[idx] = 0
+	q.count++
+	return idx, true
+}
+
+// regFile is the merged physical register file (Figure 3's "Register File"
+// SRAM) plus its ready scoreboard.
+type regFile struct {
+	val   [PhysRegs]uint64
+	ready [PhysRegs / 64]uint64
+}
+
+func (f *regFile) register(s *StateSpace) {
+	for i := range f.val {
+		s.Register("prf.val", KindSRAM, ClassData, &f.val[i], 64)
+	}
+	for i := range f.ready {
+		s.Register("prf.ready", KindLatch, ClassControl, &f.ready[i], 64)
+	}
+}
+
+func (f *regFile) isReady(tag uint64) bool {
+	tag %= PhysRegs
+	return f.ready[tag/64]&(1<<(tag%64)) != 0
+}
+
+func (f *regFile) setReady(tag uint64, rdy bool) {
+	tag %= PhysRegs
+	if rdy {
+		f.ready[tag/64] |= 1 << (tag % 64)
+	} else {
+		f.ready[tag/64] &^= 1 << (tag % 64)
+	}
+}
+
+func (f *regFile) read(tag uint64) uint64 { return f.val[tag%PhysRegs] }
+func (f *regFile) write(tag, v uint64)    { f.val[tag%PhysRegs] = v }
+
+// aliasTable maps architectural to physical registers (the Spec/Arch RATs
+// of Figure 3, SRAM arrays).
+type aliasTable struct {
+	m [32]uint64
+}
+
+func (t *aliasTable) register(s *StateSpace, name string) {
+	for i := range t.m {
+		s.Register(name, KindSRAM, ClassControl, &t.m[i], 7)
+	}
+}
+
+func (t *aliasTable) get(r uint64) uint64 { return t.m[r%32] % PhysRegs }
+func (t *aliasTable) set(r, phys uint64)  { t.m[r%32] = phys % PhysRegs }
+
+// freeList is the physical-register free pool, stored as a bit vector
+// (Figure 3's Spec/Arch free lists collapse into one recomputable pool in
+// this model; recovery rebuilds it from the surviving ROB contents).
+type freeList struct {
+	bits [PhysRegs / 64]uint64
+}
+
+func (f *freeList) register(s *StateSpace) {
+	for i := range f.bits {
+		s.Register("freelist", KindSRAM, ClassControl, &f.bits[i], 64)
+	}
+}
+
+func (f *freeList) alloc() (uint64, bool) {
+	for w := range f.bits {
+		if f.bits[w] == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if f.bits[w]&(1<<b) != 0 {
+				f.bits[w] &^= 1 << b
+				return uint64(w*64 + b), true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (f *freeList) free(tag uint64) {
+	tag %= PhysRegs
+	f.bits[tag/64] |= 1 << (tag % 64)
+}
+
+// execWindow models the execution-unit pipeline registers: results computed
+// at issue that are still in flight toward writeback. Timing metadata
+// (completion cycle, busy flag) is simulator bookkeeping, but the value and
+// destination tags are real latches and injectable.
+const execSlots = 16
+
+type execWindow struct {
+	val [execSlots]uint64
+	tag [execSlots]uint64 // physical destination; bit 7 set = no destination
+	rob [execSlots]uint64
+
+	busy   [execSlots]bool   // not injectable: scheduling metadata
+	doneAt [execSlots]uint64 // not injectable
+}
+
+const execNoDest = 1 << 7
+
+func (e *execWindow) register(s *StateSpace) {
+	for i := range e.val {
+		s.Register("exec.val", KindLatch, ClassData, &e.val[i], 64)
+		s.Register("exec.tag", KindLatch, ClassControl, &e.tag[i], 8)
+		s.Register("exec.rob", KindLatch, ClassControl, &e.rob[i], 6)
+	}
+}
+
+func (e *execWindow) reset() { *e = execWindow{} }
+
+func (e *execWindow) alloc() (int, bool) {
+	for i := range e.busy {
+		if !e.busy[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,107 @@
+package predictor
+
+// BTB is a set-associative branch target buffer. The front end uses it to
+// obtain targets for predicted-taken branches and indirect jumps before the
+// instruction is even decoded.
+type BTB struct {
+	ways    int
+	sets    uint64
+	entries []btbEntry // sets*ways, LRU within a set
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	lru    uint32
+}
+
+// NewBTB returns a BTB with 2^setBits sets of the given associativity.
+func NewBTB(setBits, ways int) *BTB {
+	sets := uint64(1) << setBits
+	return &BTB{ways: ways, sets: sets, entries: make([]btbEntry, int(sets)*ways)}
+}
+
+func (b *BTB) set(pc uint64) []btbEntry {
+	idx := (pc >> 2) & (b.sets - 1)
+	return b.entries[int(idx)*b.ways : int(idx+1)*b.ways]
+}
+
+// Lookup returns the predicted target for pc, if any.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].lru = 0
+			for j := range set {
+				if j != i && set[j].valid {
+					set[j].lru++
+				}
+			}
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc, evicting the LRU way.
+func (b *BTB) Update(pc, target uint64) {
+	set := b.set(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			victim = i
+			break
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru > set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{valid: true, tag: pc, target: target}
+	for j := range set {
+		if j != victim && set[j].valid {
+			set[j].lru++
+		}
+	}
+}
+
+// RAS is the return-address stack. Pushes wrap around when full, like real
+// hardware, so deep recursion degrades gracefully rather than overflowing.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS returns a return-address stack with the given capacity.
+func NewRAS(capacity int) *RAS {
+	return &RAS{stack: make([]uint64, capacity)}
+}
+
+// Push records a return address on a call.
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. Popping an empty stack returns 0 and
+// no-hit.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr := r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return addr, true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }

@@ -1,0 +1,60 @@
+package predictor
+
+// Clone support: fault-injection campaigns fork a warmed-up pipeline once
+// per injection point and run many corrupted trials from identical state, so
+// every predictor must be deep-copyable.
+
+// Clone returns an independent copy.
+func (b *Bimodal) Clone() *Bimodal {
+	c := *b
+	c.table = append([]counter2(nil), b.table...)
+	return &c
+}
+
+// Clone returns an independent copy.
+func (g *Gshare) Clone() *Gshare {
+	c := *g
+	c.table = append([]counter2(nil), g.table...)
+	return &c
+}
+
+// Clone returns an independent copy.
+func (c *Combined) Clone() *Combined {
+	n := *c
+	n.bimodal = c.bimodal.Clone()
+	n.gshare = c.gshare.Clone()
+	n.chooser = append([]counter2(nil), c.chooser...)
+	return &n
+}
+
+// Clone returns an independent copy.
+func (b *BTB) Clone() *BTB {
+	c := *b
+	c.entries = append([]btbEntry(nil), b.entries...)
+	return &c
+}
+
+// Clone returns an independent copy.
+func (r *RAS) Clone() *RAS {
+	c := *r
+	c.stack = append([]uint64(nil), r.stack...)
+	return &c
+}
+
+// Clone returns an independent copy. The history source, if any, must be
+// re-bound by the caller via SetHistorySource so the clone tracks its own
+// pipeline's predictor rather than the original's.
+func (j *JRS) Clone() ConfidenceEstimator {
+	c := *j
+	c.table = append([]uint8(nil), j.table...)
+	return &c
+}
+
+// SetHistorySource re-points the estimator's global-history input.
+func (j *JRS) SetHistorySource(hist *Gshare) { j.hist = hist }
+
+// Clone returns the oracle itself (stateless).
+func (Perfect) Clone() ConfidenceEstimator { return Perfect{} }
+
+// Clone returns the null estimator itself (stateless).
+func (Never) Clone() ConfidenceEstimator { return Never{} }

@@ -1,0 +1,128 @@
+package predictor
+
+// ConfidenceEstimator assigns a high/low confidence label to each
+// conditional-branch prediction. In the ReStore architecture a misprediction
+// of a HIGH-confidence branch is treated as a soft-error symptom (paper
+// Section 3.2.2): if the predictor was very sure and the "misprediction"
+// still happened, perhaps the branch input was corrupted rather than the
+// predictor wrong.
+type ConfidenceEstimator interface {
+	// Confident reports whether the current prediction for pc is high
+	// confidence.
+	Confident(pc uint64) bool
+	// Update trains the estimator with whether the prediction was
+	// correct.
+	Update(pc uint64, correct bool)
+	// Clone returns an independent deep copy (see clone.go).
+	Clone() ConfidenceEstimator
+}
+
+// JRS is the Jacobsen-Rotenberg-Smith resetting-counter estimator [12]: a
+// table of saturating "miss distance counters" indexed by PC XOR global
+// history. A correct prediction increments the counter; a misprediction
+// resets it to zero. A prediction is high confidence when the counter has
+// saturated past the threshold, i.e. the branch has been predicted correctly
+// many consecutive times. The paper selects JRS with a conservative
+// threshold, prioritising performance (few false positives) over coverage.
+type JRS struct {
+	table     []uint8
+	mask      uint64
+	max       uint8
+	threshold uint8
+	hist      *Gshare // source of global history for indexing; may be nil
+}
+
+// JRSConfig parameterises the estimator.
+type JRSConfig struct {
+	// TableBits is log2 of the table size (default 12, 4096 entries).
+	TableBits int
+	// CounterMax is the saturation value (default 15, a 4-bit counter).
+	CounterMax uint8
+	// Threshold is the minimum counter value labelled high confidence
+	// (default equal to CounterMax, the paper's conservative setting).
+	Threshold uint8
+}
+
+func (c *JRSConfig) applyDefaults() {
+	if c.TableBits == 0 {
+		c.TableBits = 12
+	}
+	if c.CounterMax == 0 {
+		c.CounterMax = 15
+	}
+	if c.Threshold == 0 {
+		c.Threshold = c.CounterMax
+	}
+}
+
+// NewJRS returns a JRS estimator. The optional history source lets the
+// estimator share the direction predictor's global history register, as in
+// the original design; pass nil for PC-only indexing.
+func NewJRS(cfg JRSConfig, hist *Gshare) *JRS {
+	cfg.applyDefaults()
+	n := 1 << cfg.TableBits
+	return &JRS{
+		table:     make([]uint8, n),
+		mask:      uint64(n - 1),
+		max:       cfg.CounterMax,
+		threshold: cfg.Threshold,
+		hist:      hist,
+	}
+}
+
+func (j *JRS) index(pc uint64) uint64 {
+	h := uint64(0)
+	if j.hist != nil {
+		h = j.hist.History()
+	}
+	return ((pc >> 2) ^ h) & j.mask
+}
+
+// Confident reports whether the counter for pc has saturated to the
+// threshold.
+func (j *JRS) Confident(pc uint64) bool {
+	return j.table[j.index(pc)] >= j.threshold
+}
+
+// Update increments on a correct prediction and resets on a misprediction.
+func (j *JRS) Update(pc uint64, correct bool) {
+	i := j.index(pc)
+	if !correct {
+		j.table[i] = 0
+		return
+	}
+	if j.table[i] < j.max {
+		j.table[i]++
+	}
+}
+
+// Perfect is the oracle estimator used for the Section 5.2.1 ablation: it
+// labels every prediction high confidence, so every genuine misprediction
+// and every fault-induced one is a symptom. Combined with campaign-side
+// knowledge of which mispredictions were fault-induced, it bounds the
+// coverage a better confidence predictor could reach ("a perfect confidence
+// predictor would yield nearly twice the error coverage").
+type Perfect struct{}
+
+// Confident always reports high confidence.
+func (Perfect) Confident(uint64) bool { return true }
+
+// Update is a no-op.
+func (Perfect) Update(uint64, bool) {}
+
+// Never is the null estimator: no misprediction is ever a symptom. Used to
+// model a baseline pipeline with exception-only detection.
+type Never struct{}
+
+// Confident always reports low confidence.
+func (Never) Confident(uint64) bool { return false }
+
+// Update is a no-op.
+func (Never) Update(uint64, bool) {}
+
+// Compile-time interface checks.
+var (
+	_ ConfidenceEstimator = (*JRS)(nil)
+	_ ConfidenceEstimator = Perfect{}
+	_ ConfidenceEstimator = Never{}
+)

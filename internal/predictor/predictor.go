@@ -1,0 +1,197 @@
+// Package predictor implements the control-flow prediction hardware the
+// ReStore front end leverages: direction predictors (bimodal, gshare, and
+// the McFarling combining predictor the paper cites [18]), a branch target
+// buffer, a return-address stack, and the JRS resetting-counter confidence
+// estimator [12] that gates which mispredictions count as soft-error
+// symptoms.
+//
+// Predictor tables are deliberately excluded from the fault-injection state
+// space (paper Section 4.2: corrupt predictor entries cannot cause failure,
+// only extra mispredictions), so this package keeps its state in ordinary Go
+// structures rather than the pipeline's enumerable StateSpace.
+package predictor
+
+// counter2 is a saturating 2-bit counter; values 2 and 3 predict taken.
+type counter2 = uint8
+
+func bump(c counter2, taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter2
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits entries.
+func NewBimodal(bits int) *Bimodal {
+	n := 1 << bits
+	t := make([]counter2, n)
+	for i := range t {
+		t[i] = 2 // weakly taken: loops predict well from cold
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)] >= 2 }
+
+// Update trains the predictor with the resolved direction.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = bump(b.table[i], taken)
+}
+
+// Gshare XORs global history into the table index.
+type Gshare struct {
+	table    []counter2
+	mask     uint64
+	hist     uint64
+	histBits uint
+}
+
+// NewGshare returns a gshare predictor with 2^bits entries and histBits of
+// global history.
+func NewGshare(bits int, histBits uint) *Gshare {
+	n := 1 << bits
+	t := make([]counter2, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{table: t, mask: uint64(n - 1), histBits: histBits}
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.hist) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.index(pc)] >= 2 }
+
+// Update trains the counter and shifts the resolved direction into the
+// global history register.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = bump(g.table[i], taken)
+	g.hist <<= 1
+	if taken {
+		g.hist |= 1
+	}
+	g.hist &= (1 << g.histBits) - 1
+}
+
+// History exposes the current global history (used by confidence indexing).
+func (g *Gshare) History() uint64 { return g.hist }
+
+// PredictH predicts using an externally managed history register. Pipelines
+// that maintain speculative fetch-time history (repaired on flushes) use
+// this form so that prediction and training index the same table entry.
+func (g *Gshare) PredictH(pc, hist uint64) bool {
+	return g.table[((pc>>2)^hist)&g.mask] >= 2
+}
+
+// UpdateH trains the counter the PredictH call with the same history used.
+// The internal history register is not touched.
+func (g *Gshare) UpdateH(pc uint64, taken bool, hist uint64) {
+	i := ((pc >> 2) ^ hist) & g.mask
+	g.table[i] = bump(g.table[i], taken)
+}
+
+// Combined is McFarling's combining predictor: a chooser table picks between
+// bimodal and gshare per branch.
+type Combined struct {
+	bimodal *Bimodal
+	gshare  *Gshare
+	chooser []counter2 // >=2 selects gshare
+	mask    uint64
+}
+
+// NewCombined returns a combining predictor; each component has 2^bits
+// entries.
+func NewCombined(bits int, histBits uint) *Combined {
+	n := 1 << bits
+	ch := make([]counter2, n)
+	for i := range ch {
+		ch[i] = 2
+	}
+	return &Combined{
+		bimodal: NewBimodal(bits),
+		gshare:  NewGshare(bits, histBits),
+		chooser: ch,
+		mask:    uint64(n - 1),
+	}
+}
+
+// Predict returns the chosen component's prediction.
+func (c *Combined) Predict(pc uint64) bool {
+	if c.chooser[(pc>>2)&c.mask] >= 2 {
+		return c.gshare.Predict(pc)
+	}
+	return c.bimodal.Predict(pc)
+}
+
+// Update trains both components and moves the chooser toward whichever was
+// correct.
+func (c *Combined) Update(pc uint64, taken bool) {
+	bp := c.bimodal.Predict(pc)
+	gp := c.gshare.Predict(pc)
+	i := (pc >> 2) & c.mask
+	if gp == taken && bp != taken {
+		c.chooser[i] = bump(c.chooser[i], true)
+	} else if bp == taken && gp != taken {
+		c.chooser[i] = bump(c.chooser[i], false)
+	}
+	c.bimodal.Update(pc, taken)
+	c.gshare.Update(pc, taken)
+}
+
+// History exposes the gshare component's global history.
+func (c *Combined) History() uint64 { return c.gshare.History() }
+
+// PredictH predicts with an externally managed history register.
+func (c *Combined) PredictH(pc, hist uint64) bool {
+	if c.chooser[(pc>>2)&c.mask] >= 2 {
+		return c.gshare.PredictH(pc, hist)
+	}
+	return c.bimodal.Predict(pc)
+}
+
+// UpdateH trains both components and the chooser against the history the
+// prediction was made with.
+func (c *Combined) UpdateH(pc uint64, taken bool, hist uint64) {
+	bp := c.bimodal.Predict(pc)
+	gp := c.gshare.PredictH(pc, hist)
+	i := (pc >> 2) & c.mask
+	if gp == taken && bp != taken {
+		c.chooser[i] = bump(c.chooser[i], true)
+	} else if bp == taken && gp != taken {
+		c.chooser[i] = bump(c.chooser[i], false)
+	}
+	c.bimodal.Update(pc, taken)
+	c.gshare.UpdateH(pc, taken, hist)
+}
+
+// DirectionPredictor is the interface the pipeline front end consumes.
+type DirectionPredictor interface {
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+}
+
+// Compile-time interface checks.
+var (
+	_ DirectionPredictor = (*Bimodal)(nil)
+	_ DirectionPredictor = (*Gshare)(nil)
+	_ DirectionPredictor = (*Combined)(nil)
+)

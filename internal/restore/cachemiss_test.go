@@ -1,0 +1,113 @@
+package restore
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestCacheMissSymptomIsAPoorDetector reproduces the Section 3.3 analysis
+// quantitatively: treating data-cache misses as symptoms triggers rollback
+// storms on fault-free runs, costing far more cycles than the default
+// detectors for the same work.
+func TestCacheMissSymptomIsAPoorDetector(t *testing.T) {
+	run := func(cacheMiss bool) Report {
+		// mcf's pointer chase misses constantly — the worst case the
+		// paper warns about.
+		prog := workload.MustGenerate(workload.MCF, workload.Config{Seed: 3})
+		m, err := prog.NewMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc := New(pipe, Config{
+			Interval:               100,
+			EnableCacheMissSymptom: cacheMiss,
+		})
+		rep, err := proc.Run(20_000, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	normal := run(false)
+	miss := run(true)
+
+	t.Logf("default detectors: rollbacks=%d cycles=%d", normal.Rollbacks, normal.Cycles)
+	t.Logf("with cache-miss symptom: rollbacks=%d (miss symptoms %d) cycles=%d",
+		miss.Rollbacks, miss.CacheMissSymptoms, miss.Cycles)
+
+	if miss.CacheMissSymptoms == 0 {
+		t.Fatal("cache-miss symptom never fired on mcf")
+	}
+	if miss.Rollbacks <= normal.Rollbacks {
+		t.Error("cache-miss symptom should multiply rollbacks")
+	}
+	if miss.Cycles <= normal.Cycles {
+		t.Error("cache-miss symptom should cost cycles")
+	}
+	// The point of the paper's metric (3): false positives per kinstruction
+	// are orders of magnitude above the branch symptom's.
+	missRate := float64(miss.CacheMissSymptoms) / float64(miss.Retired) * 1000
+	if missRate < 1 {
+		t.Errorf("mcf should miss more than once per kinsn, got %.2f", missRate)
+	}
+}
+
+// TestCacheMissSymptomStillRecovers confirms the machine remains correct —
+// just slow — under miss-triggered rollbacks.
+func TestCacheMissSymptomStillRecovers(t *testing.T) {
+	prog := workload.MustGenerate(workload.Parser, workload.Config{Seed: 3, Scale: 0.5})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := New(pipe, Config{Interval: 100, EnableCacheMissSymptom: true})
+	rep, err := proc.Run(10_000, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := goldenRegs(t, prog, rep.Retired)
+	if pipe.ArchRegs() != want {
+		t.Error("cache-miss rollbacks corrupted architectural state")
+	}
+}
+
+func TestCacheMissSymptomUnderDelayedPolicy(t *testing.T) {
+	// Regression: a pending miss symptom must trigger the delayed-policy
+	// rollback at the interval boundary, same as a branch symptom.
+	prog := workload.MustGenerate(workload.MCF, workload.Config{Seed: 3, Scale: 0.5})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := New(pipe, Config{
+		Interval:               100,
+		Policy:                 PolicyDelayed,
+		EnableCacheMissSymptom: true,
+	})
+	rep, err := proc.Run(10_000, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheMissSymptoms == 0 || rep.Rollbacks == 0 {
+		t.Fatalf("delayed policy ignored miss symptoms: %+v", rep)
+	}
+	// Delayed coalescing: at most one rollback per interval traversed.
+	if rep.Rollbacks > rep.Retired/100+rep.Checkpoints {
+		t.Errorf("more rollbacks (%d) than intervals", rep.Rollbacks)
+	}
+}

@@ -1,0 +1,113 @@
+package restore
+
+// EventLog is the branch-outcome log of Section 3.2.3. During normal
+// execution it records the outcome of every committed branch; during
+// re-execution after a rollback the controller compares fresh outcomes
+// against the recorded ones. A disagreement means a soft error corrupted one
+// of the two executions — detection through time redundancy, paid for only
+// after a symptom ("redundancy on demand"). The log also serves as the
+// source of known branch outcomes that makes replayed execution effectively
+// perfectly predicted.
+
+// BranchRecord is one committed branch outcome, keyed by the architectural
+// instruction index (which rewinds on rollback, so original and replay
+// records of the same dynamic branch share a key).
+type BranchRecord struct {
+	Index  uint64
+	PC     uint64
+	Taken  bool
+	Target uint64
+}
+
+// Equal reports whether two records describe the same outcome.
+func (r BranchRecord) Equal(o BranchRecord) bool { return r == o }
+
+// EventLog is a ring buffer of branch records indexed by architectural
+// instruction index.
+type EventLog struct {
+	buf  []BranchRecord
+	used []bool
+}
+
+// NewEventLog returns a log holding up to size records. Size must cover the
+// longest rollback window (two checkpoint intervals of branches); older
+// records are overwritten.
+func NewEventLog(size int) *EventLog {
+	if size < 1 {
+		size = 1
+	}
+	return &EventLog{buf: make([]BranchRecord, size), used: make([]bool, size)}
+}
+
+// Append records (or overwrites) the outcome for the record's index.
+func (l *EventLog) Append(rec BranchRecord) {
+	slot := rec.Index % uint64(len(l.buf))
+	l.buf[slot] = rec
+	l.used[slot] = true
+}
+
+// Lookup returns the recorded outcome for the architectural index, if it is
+// still resident.
+func (l *EventLog) Lookup(index uint64) (BranchRecord, bool) {
+	slot := index % uint64(len(l.buf))
+	if !l.used[slot] || l.buf[slot].Index != index {
+		return BranchRecord{}, false
+	}
+	return l.buf[slot], true
+}
+
+// Outcome returns the recorded direction and target for the branch at the
+// given architectural index, for use as a replay-time perfect prediction.
+func (l *EventLog) Outcome(index uint64) (taken bool, target uint64, ok bool) {
+	rec, ok := l.Lookup(index)
+	if !ok {
+		return false, 0, false
+	}
+	return rec.Taken, rec.Target, true
+}
+
+// Len returns the log capacity.
+func (l *EventLog) Len() int { return len(l.buf) }
+
+// LoadRecord is one committed load outcome, keyed like BranchRecord. The
+// load value queue is the paper's second event-log instance (Section 3.2.3
+// cites Load Value Queues [23] for input replication); here, where memory
+// rollback already replays inputs exactly, its comparison role remains: a
+// load returning a different value on re-execution exposes a soft error
+// that never touched a branch.
+type LoadRecord struct {
+	Index uint64
+	Addr  uint64
+	Value uint64
+}
+
+// LoadValueQueue is a ring of load records indexed by architectural
+// instruction index.
+type LoadValueQueue struct {
+	buf  []LoadRecord
+	used []bool
+}
+
+// NewLoadValueQueue returns a queue holding up to size records.
+func NewLoadValueQueue(size int) *LoadValueQueue {
+	if size < 1 {
+		size = 1
+	}
+	return &LoadValueQueue{buf: make([]LoadRecord, size), used: make([]bool, size)}
+}
+
+// Append records (or overwrites) the load outcome for the record's index.
+func (l *LoadValueQueue) Append(rec LoadRecord) {
+	slot := rec.Index % uint64(len(l.buf))
+	l.buf[slot] = rec
+	l.used[slot] = true
+}
+
+// Lookup returns the recorded load for the architectural index, if resident.
+func (l *LoadValueQueue) Lookup(index uint64) (LoadRecord, bool) {
+	slot := index % uint64(len(l.buf))
+	if !l.used[slot] || l.buf[slot].Index != index {
+		return LoadRecord{}, false
+	}
+	return l.buf[slot], true
+}

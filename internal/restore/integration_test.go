@@ -1,0 +1,112 @@
+package restore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestRandomFaultsUnderReStore is the end-to-end property of the whole
+// system: random single-bit flips anywhere in the pipeline, executed under
+// a full ReStore processor, must always land in one of the architecture's
+// defined outcomes — silently masked, detected-and-recovered (architectural
+// state identical to a fault-free golden run), or an explicit terminal
+// report (an uncovered corruption, a genuine-looking exception, a wedged
+// machine). Nothing may panic, hang, or corrupt state silently while
+// claiming success.
+func TestRandomFaultsUnderReStore(t *testing.T) {
+	const (
+		trials     = 40
+		warmup     = 4_000
+		postInject = 30_000
+	)
+	rng := rand.New(rand.NewSource(99))
+	prog := workload.MustGenerate(workload.Vortex, workload.Config{Seed: 9, Scale: 0.5})
+
+	var clean, corrupt, terminal int
+	for trial := 0; trial < trials; trial++ {
+		m, err := prog.NewMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc := New(pipe, Config{Interval: 100})
+		if _, err := proc.Run(warmup, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+
+		// Flip one uniformly random bit of microarchitectural state.
+		space := pipe.State()
+		ref, ok := space.NthBit(uint64(rng.Int63n(int64(space.TotalBits(false)))))
+		if !ok {
+			t.Fatal("bit sampling failed")
+		}
+		space.Flip(ref)
+
+		rep, err := proc.Run(warmup+postInject, 50_000_000)
+		switch {
+		case err == nil:
+			// Completed: compare against a fault-free golden run.
+			gm, gerr := prog.NewMemory()
+			if gerr != nil {
+				t.Fatal(gerr)
+			}
+			golden := arch.New(gm, prog.Entry)
+			if _, last, gerr := golden.Run(rep.Retired); gerr != nil || last.Exception != arch.ExcNone {
+				t.Fatalf("golden run failed: %v %v", gerr, last.Exception)
+			}
+			if pipe.ArchRegs() == golden.Regs {
+				clean++
+			} else {
+				corrupt++ // uncovered SDC: allowed, but counted
+			}
+		case errors.Is(err, ErrGenuineException), errors.Is(err, ErrUnrecoverable),
+			errors.Is(err, ErrCycleBudget):
+			terminal++
+		default:
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+	}
+
+	t.Logf("outcomes over %d random faults: clean=%d sdc=%d terminal=%d",
+		trials, clean, corrupt, terminal)
+	if clean < trials*6/10 {
+		t.Errorf("only %d/%d trials ended architecturally clean; masking+recovery too weak", clean, trials)
+	}
+	if corrupt+terminal > trials/3 {
+		t.Errorf("too many unrecovered outcomes: %d", corrupt+terminal)
+	}
+}
+
+// TestRepeatedRecoveryConvergence drives many sequential corruptions of the
+// same live pointer through detection and recovery, verifying the machine
+// never drifts from the golden execution.
+func TestRepeatedRecoveryConvergence(t *testing.T) {
+	proc, prog := newPointerLoopProcessor(t, Config{Interval: 100})
+	target := uint64(4_000)
+	for round := 0; round < 5; round++ {
+		if _, err := proc.Run(target, 10_000_000); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		proc.Pipeline().CorruptArchReg(10, uint(40+round))
+		target += 4_000
+	}
+	rep, err := proc.Run(target, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExceptionSymptoms < 4 {
+		t.Errorf("expected most corruptions to fault; got %d symptoms", rep.ExceptionSymptoms)
+	}
+	want, _ := goldenRegs(t, prog, rep.Retired)
+	if proc.Pipeline().ArchRegs() != want {
+		t.Error("state drifted from golden after repeated recoveries")
+	}
+}

@@ -1,0 +1,212 @@
+package restore
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// branchLoop builds a loop whose conditional branch is steered by r12,
+// which is never renamed away: corrupting r12 flips upcoming committed
+// branch outcomes, which the event log can catch during replay.
+func branchLoop(t *testing.T) *workload.Program {
+	t.Helper()
+	b := workload.NewBuilder("branchloop")
+	b.AllocData("data", make([]byte, 4096), mem.PermRW)
+	b.LoadImm(isa.Reg(12), 0)
+	b.LoadImm(isa.Reg(10), workload.DataBase)
+	b.Label("loop")
+	b.Op(isa.OpADDQ, 3, 12, 4)
+	b.Branch(isa.OpBNE, 12, "rare")
+	b.OpLit(isa.OpADDQ, 3, 1, 3)
+	b.Branch(isa.OpBR, isa.RegZero, "join")
+	b.Label("rare")
+	b.OpLit(isa.OpADDQ, 3, 2, 3)
+	b.Label("join")
+	b.Store(isa.OpSTQ, 3, 0, 10)
+	b.Branch(isa.OpBR, isa.RegZero, "loop")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestEventLogDetectionWithVerification(t *testing.T) {
+	prog := branchLoop(t)
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delayed policy lets the corrupted branch COMMIT its wrong outcome
+	// into the event log before rollback; VerifyDetections enables the
+	// Section 3.2.3 third execution.
+	proc := New(pipe, Config{
+		Interval:         100,
+		Policy:           PolicyDelayed,
+		VerifyDetections: true,
+	})
+	if _, err := proc.Run(20_000, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	pipe.CorruptArchReg(isa.Reg(12), 3)
+
+	rep, err := proc.Run(60_000, 6_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectedErrors == 0 {
+		t.Fatal("event log did not detect the corrupted branch outcomes")
+	}
+	if rep.VerifiedDetections == 0 {
+		t.Errorf("third execution did not confirm the detection: %+v", rep)
+	}
+	if rep.ReplayCorruptions != 0 {
+		t.Errorf("no replay was corrupted, yet %d reported", rep.ReplayCorruptions)
+	}
+
+	// Recovery must leave state on the golden path.
+	want, _ := goldenRegs(t, prog, rep.Retired)
+	if pipe.ArchRegs() != want {
+		t.Error("state corrupt after verified detection and recovery")
+	}
+}
+
+func TestVerificationOffByDefault(t *testing.T) {
+	prog := branchLoop(t)
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := New(pipe, Config{Interval: 100, Policy: PolicyDelayed})
+	if _, err := proc.Run(20_000, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	pipe.CorruptArchReg(isa.Reg(12), 3)
+	rep, err := proc.Run(60_000, 6_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VerifiedDetections != 0 || rep.ReplayCorruptions != 0 {
+		t.Errorf("verification ran despite being disabled: %+v", rep)
+	}
+}
+
+func TestErrorLogRecords(t *testing.T) {
+	prog := branchLoop(t)
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := New(pipe, Config{Interval: 100, Policy: PolicyDelayed})
+	if _, err := proc.Run(20_000, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(proc.ErrorLog()) != 0 {
+		t.Fatal("error log not empty on a clean run")
+	}
+	pipe.CorruptArchReg(isa.Reg(12), 3)
+	rep, err := proc.Run(60_000, 6_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := proc.ErrorLog()
+	if uint64(len(log)) != rep.DetectedErrors || len(log) == 0 {
+		t.Fatalf("error log has %d records for %d detections", len(log), rep.DetectedErrors)
+	}
+	rec := log[0]
+	if rec.OriginalTaken == rec.ReplayTaken {
+		t.Error("record does not describe a divergence")
+	}
+	if rec.PC == 0 || rec.Cycle == 0 {
+		t.Errorf("record missing location: %+v", rec)
+	}
+	// The returned slice is a copy.
+	log[0].PC = 0xDEAD
+	if proc.ErrorLog()[0].PC == 0xDEAD {
+		t.Error("ErrorLog exposes internal state")
+	}
+}
+
+func TestLoadValueQueueDetectsDataDivergence(t *testing.T) {
+	// r12 steers both a data chain (store->load, committed BEFORE the
+	// branch each iteration) and a conditional branch. Under the delayed
+	// policy the corrupted iteration commits fully; during replay the
+	// load value queue sees the data divergence at an earlier index than
+	// the event log sees the branch divergence.
+	build := func() (*Processor, *pipeline.Pipeline) {
+		prog := asm.MustAssemble("lvq", `
+			.data buf 4096
+			.base r10 buf
+			.imm  r12 0
+		loop:
+			addq r12, #0, r4     ; r4 = r12 (data use, before the branch)
+			stq  r4, 8(r10)
+			ldq  r5, 8(r10)      ; r12-derived value flows through memory
+			addq r3, r5, r3
+			bne  r12, rare       ; steering branch, after the loads
+			addq r3, #1, r3
+			br   join
+		rare:
+			addq r3, #2, r3
+		join:
+			stq  r3, 16(r10)
+			br   loop
+		`)
+		m, err := prog.NewMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc := New(pipe, Config{
+			Interval:      100,
+			Policy:        PolicyDelayed,
+			LogLoadValues: true,
+		})
+		return proc, pipe
+	}
+
+	proc, pipe := build()
+	if _, err := proc.Run(20_000, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	pipe.CorruptArchReg(isa.Reg(12), 3)
+	rep, err := proc.Run(60_000, 6_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectedErrors == 0 {
+		t.Fatal("no detection with load value queue enabled")
+	}
+	log := proc.ErrorLog()
+	if len(log) == 0 {
+		t.Fatal("empty error log")
+	}
+	// The first detection must be the LVQ's data record (no branch
+	// outcomes recorded), proving the value comparison fired before the
+	// event log's branch comparison could.
+	first := log[0]
+	if first.OriginalTaken || first.ReplayTaken {
+		t.Errorf("first detection was a branch record, want a load-value record: %+v", first)
+	}
+}

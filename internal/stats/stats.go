@@ -1,0 +1,198 @@
+// Package stats provides the statistical-significance machinery of the
+// paper's Section 4.4 (confidence intervals over sampled fault-injection
+// trials) and shared helpers for turning campaign results into the
+// stacked-category tables behind Figures 2 and 4-6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BinomialMargin returns the half-width of the normal-approximation
+// confidence interval for an observed proportion p over n samples at the
+// given z-score (1.96 for 95%, the paper's setting).
+func BinomialMargin(p float64, n int, z float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return z * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// Margin95 is BinomialMargin at the 95% confidence level.
+func Margin95(p float64, n int) float64 { return BinomialMargin(p, n, 1.96) }
+
+// WorstCaseMargin95 is the margin at p = 0.5, the bound the paper quotes
+// ("confidence interval of less than 0.9% at a 95% confidence level" for
+// 12-13k trials).
+func WorstCaseMargin95(n int) float64 { return Margin95(0.5, n) }
+
+// Distribution is a set of named category fractions that sum to ~1.
+type Distribution struct {
+	Categories []string
+	Fraction   map[string]float64
+}
+
+// NewDistribution builds a distribution over the given category order.
+func NewDistribution(categories []string) Distribution {
+	return Distribution{
+		Categories: append([]string(nil), categories...),
+		Fraction:   make(map[string]float64, len(categories)),
+	}
+}
+
+// Get returns the fraction for a category (0 if absent).
+func (d Distribution) Get(cat string) float64 { return d.Fraction[cat] }
+
+// Total returns the sum of all fractions.
+func (d Distribution) Total() float64 {
+	sum := 0.0
+	for _, v := range d.Fraction {
+		sum += v
+	}
+	return sum
+}
+
+// StackedTable renders a series of distributions (one per column) as the
+// textual equivalent of the paper's stacked-bar figures: rows are
+// categories, columns are the sweep parameter (latency bin or checkpoint
+// interval).
+type StackedTable struct {
+	Title      string
+	ColumnName string
+	Columns    []string
+	Rows       []string // category order, bottom of the stack first
+	cells      map[string]map[string]float64
+}
+
+// NewStackedTable creates an empty table with the given category rows.
+func NewStackedTable(title, columnName string, rows []string) *StackedTable {
+	return &StackedTable{
+		Title:      title,
+		ColumnName: columnName,
+		Rows:       append([]string(nil), rows...),
+		cells:      make(map[string]map[string]float64),
+	}
+}
+
+// AddColumn appends a column from a distribution.
+func (t *StackedTable) AddColumn(label string, d Distribution) {
+	t.Columns = append(t.Columns, label)
+	col := make(map[string]float64, len(t.Rows))
+	for _, r := range t.Rows {
+		col[r] = d.Get(r)
+	}
+	t.cells[label] = col
+}
+
+// Cell returns the fraction at (row, column).
+func (t *StackedTable) Cell(row, col string) float64 {
+	if c, ok := t.cells[col]; ok {
+		return c[row]
+	}
+	return 0
+}
+
+// Render produces an aligned text table with percentages.
+func (t *StackedTable) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	width := 10
+	for _, r := range t.Rows {
+		if len(r)+2 > width {
+			width = len(r) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width, t.ColumnName)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%9s", c)
+	}
+	b.WriteByte('\n')
+	// Render top of the stack first for readability.
+	for i := len(t.Rows) - 1; i >= 0; i-- {
+		r := t.Rows[i]
+		fmt.Fprintf(&b, "%-*s", width, r)
+		for _, c := range t.Columns {
+			fmt.Fprintf(&b, "%8.2f%%", 100*t.Cell(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV produces a machine-readable CSV of the same data.
+func (t *StackedTable) RenderCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.ColumnName)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, ",%s", r)
+	}
+	b.WriteByte('\n')
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%s", c)
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, ",%.6f", t.Cell(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is a simple named sequence of (x, y) points used for line-style
+// figures (Figure 7's speedups, Figure 8's FIT curves).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// RenderSeriesTable renders multiple series sharing an x-axis as an aligned
+// table. Series may have different x-sets; missing cells render blank.
+func RenderSeriesTable(title, xName string, format string, series ...Series) string {
+	xSet := make(map[float64]bool)
+	for _, s := range series {
+		for _, x := range s.X {
+			xSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xSet))
+	for x := range xSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%-12s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.6g", x)
+		for _, s := range series {
+			cell := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = fmt.Sprintf(format, s.Y[i])
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%14s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

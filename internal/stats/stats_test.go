@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialMargin(t *testing.T) {
+	// Paper: 12-13k trials give < 0.9% margin at 95% confidence.
+	if m := WorstCaseMargin95(12000); m >= 0.009 {
+		t.Errorf("margin for 12k trials = %.4f, want < 0.009", m)
+	}
+	if m := WorstCaseMargin95(13000); m >= 0.009 {
+		t.Errorf("margin for 13k trials = %.4f", m)
+	}
+	// Fewer samples, wider margin.
+	if WorstCaseMargin95(100) <= WorstCaseMargin95(10000) {
+		t.Error("margin must shrink with n")
+	}
+	if m := BinomialMargin(0.5, 0, 1.96); m != 1 {
+		t.Errorf("degenerate n margin = %v", m)
+	}
+}
+
+func TestMarginProperties(t *testing.T) {
+	f := func(pRaw uint16, nRaw uint16) bool {
+		p := float64(pRaw) / 65535
+		n := int(nRaw)%10000 + 1
+		m := Margin95(p, n)
+		return m >= 0 && m <= 1 && !math.IsNaN(m) &&
+			m <= WorstCaseMargin95(n)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution([]string{"a", "b"})
+	d.Fraction["a"] = 0.6
+	d.Fraction["b"] = 0.4
+	if d.Get("a") != 0.6 || d.Get("missing") != 0 {
+		t.Error("Get wrong")
+	}
+	if math.Abs(d.Total()-1.0) > 1e-12 {
+		t.Errorf("total = %v", d.Total())
+	}
+}
+
+func TestStackedTable(t *testing.T) {
+	tbl := NewStackedTable("Figure X", "interval", []string{"masked", "exception"})
+	d1 := NewDistribution(nil)
+	d1.Fraction["masked"] = 0.9
+	d1.Fraction["exception"] = 0.1
+	tbl.AddColumn("100", d1)
+	d2 := NewDistribution(nil)
+	d2.Fraction["masked"] = 0.8
+	d2.Fraction["exception"] = 0.2
+	tbl.AddColumn("200", d2)
+
+	if got := tbl.Cell("masked", "100"); got != 0.9 {
+		t.Errorf("cell = %v", got)
+	}
+	if got := tbl.Cell("masked", "nope"); got != 0 {
+		t.Errorf("missing column cell = %v", got)
+	}
+
+	text := tbl.Render()
+	for _, want := range []string{"Figure X", "interval", "masked", "exception", "90.00%", "20.00%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+
+	csv := tbl.RenderCSV()
+	if !strings.Contains(csv, "interval,masked,exception") ||
+		!strings.Contains(csv, "100,0.900000,0.100000") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	var a, b Series
+	a.Name, b.Name = "imm", "delayed"
+	a.Add(100, 0.94)
+	a.Add(200, 0.96)
+	b.Add(100, 0.93)
+
+	out := RenderSeriesTable("Figure 7", "interval", "%.3f", a, b)
+	for _, want := range []string{"Figure 7", "imm", "delayed", "0.940", "0.930", "0.960"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series table missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell for delayed@200 must render blank, not zero.
+	if strings.Contains(out, "0.000") {
+		t.Errorf("missing cell rendered as zero:\n%s", out)
+	}
+}

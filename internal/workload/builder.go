@@ -1,0 +1,291 @@
+// Package workload generates the deterministic synthetic benchmark programs
+// that stand in for the paper's SPEC2000 integer workloads (bzip2, gap, gcc,
+// gzip, mcf, parser and vortex).
+//
+// Real SPEC binaries cannot be shipped or executed here, so each benchmark
+// is a composition of parameterised kernels (pointer chasing, hashing,
+// branchy scans, call trees, jump-table dispatch, streaming arithmetic)
+// whose weights and data footprints are chosen to reproduce the workload
+// statistics the paper's results depend on: the fraction of instructions
+// computing addresses and branch conditions, the sparsity of the virtual
+// address space relative to the footprint, branch predictability above 95 %,
+// and a realistic population of dead and transitively-dead values that
+// yields software-level masking. Every program is generated from an explicit
+// seed and loops forever, so fault-injection windows of any length are
+// available.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Standard layout of the synthetic address space. The gap between regions —
+// and the emptiness of the rest of the 64-bit space — mirrors the sparse
+// mappings the paper identifies as the reason corrupted pointers usually
+// fault (Section 3.1).
+const (
+	CodeBase  = 0x0000_0001_0000 // executable, read-only
+	DataBase  = 0x0000_1000_0000 // read-write heap
+	StackBase = 0x0000_7FFF_0000 // read-write, grows down from StackTop
+	StackSize = 4 * mem.PageSize
+	StackTop  = StackBase + StackSize - 64
+)
+
+// Register conventions used by all kernels. Kernels may clobber scratch
+// registers freely; base registers are set once at program start and must be
+// preserved.
+const (
+	// RegScratch0..7 are r1..r8.
+	RegScratch0 = isa.Reg(1)
+	// RegBase0..9 are r16..r25 and hold data-segment base addresses.
+	RegBase0 = isa.Reg(16)
+	// RegIter (r9) is the global outer-loop iteration counter.
+	RegIter = isa.Reg(9)
+)
+
+// Segment is a region of initialised data in the program image.
+type Segment struct {
+	Name string
+	Base uint64
+	Data []byte
+	Perm mem.Perm
+}
+
+// Program is a fully linked synthetic benchmark.
+type Program struct {
+	Name     string
+	Entry    uint64
+	CodeBase uint64
+	Code     []uint32
+	Segments []Segment
+}
+
+// NewMemory builds a fresh memory image containing the program: code pages
+// (execute+read), data segments, and the stack.
+func (p *Program) NewMemory() (*mem.Memory, error) {
+	m := mem.New()
+	codeBytes := make([]byte, len(p.Code)*isa.InstBytes)
+	for i, w := range p.Code {
+		binary.LittleEndian.PutUint32(codeBytes[i*isa.InstBytes:], w)
+	}
+	m.Map(p.CodeBase, uint64(len(codeBytes)), mem.PermRX)
+	if err := m.WriteBytes(p.CodeBase, codeBytes); err != nil {
+		return nil, fmt.Errorf("load code: %w", err)
+	}
+	for _, seg := range p.Segments {
+		m.Map(seg.Base, uint64(len(seg.Data)), seg.Perm)
+		if err := m.WriteBytes(seg.Base, seg.Data); err != nil {
+			return nil, fmt.Errorf("load segment %s: %w", seg.Name, err)
+		}
+	}
+	m.Map(StackBase, StackSize, mem.PermRW)
+	return m, nil
+}
+
+// NumInsts returns the static code size in instructions.
+func (p *Program) NumInsts() int { return len(p.Code) }
+
+type branchFixup struct {
+	instIndex int
+	label     string
+}
+
+type dataFixup struct {
+	segIndex int
+	offset   uint64
+	label    string
+}
+
+// Builder assembles a Program: it accumulates instructions, resolves labels,
+// lays out data segments, and patches code addresses into data (for jump
+// tables).
+type Builder struct {
+	name     string
+	codeBase uint64
+	insts    []isa.Inst
+	labels   map[string]int
+	branches []branchFixup
+
+	segments   []Segment
+	nextData   uint64
+	dataFixups []dataFixup
+
+	err error
+}
+
+// NewBuilder returns an empty builder for a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		codeBase: CodeBase,
+		labels:   make(map[string]int),
+		nextData: DataBase,
+	}
+}
+
+func (b *Builder) setErr(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr("workload: duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(inst isa.Inst) {
+	b.insts = append(b.insts, inst)
+}
+
+// Op emits a three-register operate instruction.
+func (b *Builder) Op(op isa.Op, ra, rb, rc isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Ra: ra, Rb: rb, Rc: rc})
+}
+
+// OpLit emits an operate instruction with an 8-bit literal second operand.
+func (b *Builder) OpLit(op isa.Op, ra isa.Reg, lit uint8, rc isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Ra: ra, UseLit: true, Lit: lit, Rc: rc})
+}
+
+// Load emits a load (LDQ/LDL) of ra from disp(rb).
+func (b *Builder) Load(op isa.Op, ra isa.Reg, disp int32, rb isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Ra: ra, Rb: rb, Disp: disp})
+}
+
+// Store emits a store (STQ/STL) of ra to disp(rb).
+func (b *Builder) Store(op isa.Op, ra isa.Reg, disp int32, rb isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Ra: ra, Rb: rb, Disp: disp})
+}
+
+// Branch emits a conditional or unconditional PC-relative branch to label.
+func (b *Builder) Branch(op isa.Op, ra isa.Reg, label string) {
+	b.branches = append(b.branches, branchFixup{instIndex: len(b.insts), label: label})
+	b.Emit(isa.Inst{Op: op, Ra: ra})
+}
+
+// Call emits a BSR to label, linking through RegRA.
+func (b *Builder) Call(label string) {
+	b.Branch(isa.OpBSR, isa.RegRA, label)
+}
+
+// Ret emits a return through RegRA.
+func (b *Builder) Ret() {
+	b.Emit(isa.Inst{Op: isa.OpRET, Rb: isa.RegRA, Rc: isa.RegZero})
+}
+
+// JmpReg emits an indirect jump through rb.
+func (b *Builder) JmpReg(rb isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpJMP, Rb: rb, Rc: isa.RegZero})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.OpNOP}) }
+
+// LoadImm materialises a 64-bit constant into r using literal chunks and
+// shifts. Small constants take one instruction.
+func (b *Builder) LoadImm(r isa.Reg, v uint64) {
+	if v < 256 {
+		b.OpLit(isa.OpADDQ, isa.RegZero, uint8(v), r)
+		return
+	}
+	// Find the highest non-zero byte and build downward.
+	top := 7
+	for top > 0 && byte(v>>(8*top)) == 0 {
+		top--
+	}
+	b.OpLit(isa.OpADDQ, isa.RegZero, byte(v>>(8*top)), r)
+	for i := top - 1; i >= 0; i-- {
+		b.OpLit(isa.OpSLL, r, 8, r)
+		if c := byte(v >> (8 * i)); c != 0 {
+			b.OpLit(isa.OpBIS, r, c, r)
+		}
+	}
+}
+
+// AllocData reserves a page-aligned data segment of the given size and
+// returns its base address. Contents are supplied by the caller.
+func (b *Builder) AllocData(name string, data []byte, perm mem.Perm) uint64 {
+	base := b.nextData
+	b.segments = append(b.segments, Segment{Name: name, Base: base, Data: data, Perm: perm})
+	size := (uint64(len(data)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	if size == 0 {
+		size = mem.PageSize
+	}
+	// Leave an unmapped guard page between segments so small pointer
+	// corruptions can fault too.
+	b.nextData = base + size + mem.PageSize
+	return base
+}
+
+// PatchCodeAddr records that the 8 bytes at offset within the segment
+// (identified by its base address) must hold the final address of the given
+// code label. Used to build jump tables.
+func (b *Builder) PatchCodeAddr(segBase uint64, offset uint64, label string) {
+	for i := range b.segments {
+		if b.segments[i].Base == segBase {
+			b.dataFixups = append(b.dataFixups, dataFixup{segIndex: i, offset: offset, label: label})
+			return
+		}
+	}
+	b.setErr("workload: PatchCodeAddr: no segment at %#x", segBase)
+}
+
+// labelAddr returns the final address of a label.
+func (b *Builder) labelAddr(label string) (uint64, bool) {
+	idx, ok := b.labels[label]
+	if !ok {
+		return 0, false
+	}
+	return b.codeBase + uint64(idx)*isa.InstBytes, true
+}
+
+// Build resolves all fixups and returns the linked program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, fix := range b.branches {
+		target, ok := b.labelAddr(fix.label)
+		if !ok {
+			return nil, fmt.Errorf("workload: undefined label %q", fix.label)
+		}
+		pc := b.codeBase + uint64(fix.instIndex)*isa.InstBytes
+		disp, ok := isa.BranchDisp(pc, target)
+		if !ok {
+			return nil, fmt.Errorf("workload: branch to %q out of range", fix.label)
+		}
+		b.insts[fix.instIndex].Disp = disp
+	}
+	for _, fix := range b.dataFixups {
+		addr, ok := b.labelAddr(fix.label)
+		if !ok {
+			return nil, fmt.Errorf("workload: undefined label %q in data fixup", fix.label)
+		}
+		seg := &b.segments[fix.segIndex]
+		if fix.offset+8 > uint64(len(seg.Data)) {
+			return nil, fmt.Errorf("workload: data fixup outside segment %s", seg.Name)
+		}
+		binary.LittleEndian.PutUint64(seg.Data[fix.offset:], addr)
+	}
+	code := make([]uint32, len(b.insts))
+	for i, inst := range b.insts {
+		code[i] = isa.Encode(inst)
+	}
+	return &Program{
+		Name:     b.name,
+		Entry:    b.codeBase,
+		CodeBase: b.codeBase,
+		Code:     code,
+		Segments: b.segments,
+	}, nil
+}

@@ -1,0 +1,538 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// A kernel contributes three things to a benchmark program: a one-time setup
+// (data segments plus code that initialises its base register), a loop body
+// that the composer may instantiate several times per outer iteration, and
+// optional out-of-line functions (for the call-tree kernel).
+//
+// Kernels own a control block at the start of their data segment. Slot 0
+// persists state across outer iterations (list cursor, PRNG state); slot 1
+// receives result stores. Result slots are overwritten every outer
+// iteration, which is the mechanism behind software-level masking of
+// corrupted accumulators: a wrong value written there is replaced by a
+// correct one on the next pass, exactly the "eventually overwritten"
+// masking the paper measures.
+type kernel interface {
+	name() string
+	setup(b *Builder, rng *rand.Rand, base isa.Reg)
+	body(b *Builder, base isa.Reg, uniq func(string) string)
+	functions(b *Builder)
+}
+
+// Scratch registers shared by all kernel bodies. Every body writes a
+// scratch register before reading it, so values left over from earlier
+// bodies are dead — another deliberate source of logical masking.
+const (
+	rS0 = isa.Reg(1)
+	rS1 = isa.Reg(2)
+	rS2 = isa.Reg(3)
+	rS3 = isa.Reg(4)
+	rS4 = isa.Reg(5)
+	rS5 = isa.Reg(6)
+	rS6 = isa.Reg(7)
+	rS7 = isa.Reg(8)
+)
+
+const (
+	slotState  = 0  // persistent kernel state
+	slotResult = 8  // per-iteration result store
+	slotAux    = 16 // second persistent slot
+	dataStart  = 64 // control block size
+)
+
+func quadBytes(vals []uint64) []byte {
+	buf := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// arraysum: streaming loads feeding an accumulator, with a dead "prefetch"
+// load per iteration (paper Section 3.1 names prefetch results as a masking
+// source). Models the scan phases of bzip2/gzip.
+
+type arraySum struct {
+	elems int // number of quadwords, must be even
+}
+
+func (k *arraySum) name() string { return "arraysum" }
+
+func (k *arraySum) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	vals := make([]uint64, k.elems)
+	for i := range vals {
+		vals[i] = rng.Uint64() >> 16 // modest magnitudes
+	}
+	data := make([]byte, dataStart)
+	data = append(data, quadBytes(vals)...)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	b.LoadImm(base, addr)
+}
+
+func (k *arraySum) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	loop := uniq("loop")
+	b.OpLit(isa.OpADDQ, base, dataStart, rS0) // ptr
+	b.LoadImm(rS1, uint64(k.elems/2))         // counter
+	b.Op(isa.OpBIS, isa.RegZero, isa.RegZero, rS2)
+	b.Label(loop)
+	b.Load(isa.OpLDQ, rS3, 0, rS0)
+	b.Op(isa.OpADDQ, rS2, rS3, rS2)
+	b.Load(isa.OpLDQ, rS4, 8, rS0)
+	b.Op(isa.OpADDQ, rS2, rS4, rS2)
+	b.Load(isa.OpLDQ, rS5, 16, rS0) // dead prefetch: rS5 unused
+	b.OpLit(isa.OpADDQ, rS0, 16, rS0)
+	b.OpLit(isa.OpSUBQ, rS1, 1, rS1)
+	b.Branch(isa.OpBGT, rS1, loop)
+	b.Store(isa.OpSTQ, rS2, slotResult, base)
+}
+
+func (k *arraySum) functions(*Builder) {}
+
+// ---------------------------------------------------------------------------
+// bitops: register-resident hash mixing (multiplies, shifts, xors) over a
+// persistent seed. Models the compression arithmetic of bzip2/gzip and gap's
+// multi-precision kernels. The masked AND steps make high-bit corruptions
+// logically maskable.
+
+type bitOps struct {
+	iters int
+}
+
+func (k *bitOps) name() string { return "bitops" }
+
+func (k *bitOps) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	data := make([]byte, dataStart)
+	binary.LittleEndian.PutUint64(data[slotAux:], rng.Uint64()|1)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	b.LoadImm(base, addr)
+}
+
+func (k *bitOps) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	loop := uniq("loop")
+	// The working seed is a pure function of the iteration counter and
+	// the stored constant: a corrupted seed (or a corrupted result store)
+	// is recomputed correctly on the next outer iteration, so such
+	// faults are ultimately masked — the transient-value behaviour real
+	// compression inner loops exhibit.
+	b.Load(isa.OpLDQ, rS0, slotAux, base) // per-program constant
+	b.Op(isa.OpXOR, rS0, RegIter, rS0)
+	b.LoadImm(rS1, uint64(k.iters))
+	b.LoadImm(rS2, 0x9E3779B97F4A7C15) // golden-ratio multiplier
+	b.Label(loop)
+	b.Op(isa.OpMULQ, rS0, rS2, rS3)
+	b.OpLit(isa.OpSRL, rS3, 29, rS4)
+	b.Op(isa.OpXOR, rS3, rS4, rS0)
+	b.OpLit(isa.OpSLL, rS0, 3, rS5)
+	b.Op(isa.OpADDQ, rS0, rS5, rS0)
+	b.OpLit(isa.OpAND, rS0, 0xFF, rS6) // narrow use: masks high corruption
+	b.Op(isa.OpADDQ, rS6, rS0, rS0)
+	b.OpLit(isa.OpSUBQ, rS1, 1, rS1)
+	b.Branch(isa.OpBGT, rS1, loop)
+	b.Store(isa.OpSTQ, rS0, slotState, base)
+}
+
+func (k *bitOps) functions(*Builder) {}
+
+// ---------------------------------------------------------------------------
+// ptrchase: walks a randomly-permuted circular linked list, the signature
+// access pattern of mcf and parser. A corrupted cursor or next pointer is
+// dereferenced within a handful of instructions, usually landing in the
+// vast unmapped portion of the address space — the paper's dominant
+// exception symptom path.
+
+type ptrChase struct {
+	nodes int // 16-byte nodes
+	steps int // list steps per body
+}
+
+func (k *ptrChase) name() string { return "ptrchase" }
+
+func (k *ptrChase) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	perm := rng.Perm(k.nodes)
+	data := make([]byte, dataStart+k.nodes*16)
+	// Reserve space first; compute node addresses after AllocData since we
+	// need the base. AllocData copies our slice header, so writing into
+	// data afterwards still works.
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	nodeAddr := func(i int) uint64 { return addr + dataStart + uint64(i)*16 }
+	for i := 0; i < k.nodes; i++ {
+		cur, next := perm[i], perm[(i+1)%k.nodes]
+		binary.LittleEndian.PutUint64(data[dataStart+cur*16:], nodeAddr(next))
+		binary.LittleEndian.PutUint64(data[dataStart+cur*16+8:], rng.Uint64()>>32)
+	}
+	binary.LittleEndian.PutUint64(data[slotState:], nodeAddr(perm[0]))
+	b.LoadImm(base, addr)
+}
+
+func (k *ptrChase) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	loop := uniq("loop")
+	b.Load(isa.OpLDQ, rS0, slotState, base) // cursor
+	b.LoadImm(rS1, uint64(k.steps))
+	b.Op(isa.OpBIS, isa.RegZero, isa.RegZero, rS2) // sum
+	b.Label(loop)
+	b.Load(isa.OpLDQ, rS3, 8, rS0) // value
+	b.Op(isa.OpADDQ, rS2, rS3, rS2)
+	b.Load(isa.OpLDQ, rS0, 0, rS0) // follow next
+	b.OpLit(isa.OpSUBQ, rS1, 1, rS1)
+	b.Branch(isa.OpBGT, rS1, loop)
+	b.Store(isa.OpSTQ, rS0, slotState, base)
+	b.Store(isa.OpSTQ, rS2, slotResult, base)
+}
+
+func (k *ptrChase) functions(*Builder) {}
+
+// ---------------------------------------------------------------------------
+// branchy: data-dependent branches over an array whose contents are biased,
+// so the direction predictor achieves the >95 % accuracy the paper assumes
+// while still suffering genuine (false-positive-relevant) mispredictions.
+// Models gcc/parser scanning loops.
+
+type branchy struct {
+	elems int
+	bias  float64 // probability an element takes the common path
+}
+
+func (k *branchy) name() string { return "branchy" }
+
+func (k *branchy) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	vals := make([]uint64, k.elems)
+	for i := range vals {
+		v := rng.Uint64() >> 33 << 1 // even
+		if rng.Float64() > k.bias {
+			v |= 1 // rare path
+		}
+		vals[i] = v
+	}
+	data := make([]byte, dataStart)
+	data = append(data, quadBytes(vals)...)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	b.LoadImm(base, addr)
+}
+
+func (k *branchy) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	loop, rare, join := uniq("loop"), uniq("rare"), uniq("join")
+	b.OpLit(isa.OpADDQ, base, dataStart, rS0)
+	b.LoadImm(rS1, uint64(k.elems))
+	b.Op(isa.OpBIS, isa.RegZero, isa.RegZero, rS2) // sum
+	b.Op(isa.OpBIS, isa.RegZero, isa.RegZero, rS3) // rare count
+	b.Label(loop)
+	b.Load(isa.OpLDQ, rS4, 0, rS0)
+	b.OpLit(isa.OpAND, rS4, 1, rS5)
+	b.Branch(isa.OpBNE, rS5, rare)
+	b.Op(isa.OpADDQ, rS2, rS4, rS2) // common path
+	b.Branch(isa.OpBR, isa.RegZero, join)
+	b.Label(rare)
+	b.Op(isa.OpSUBQ, rS2, rS4, rS2)
+	b.OpLit(isa.OpADDQ, rS3, 1, rS3)
+	b.Label(join)
+	b.OpLit(isa.OpADDQ, rS0, 8, rS0)
+	b.OpLit(isa.OpSUBQ, rS1, 1, rS1)
+	b.Branch(isa.OpBGT, rS1, loop)
+	b.Store(isa.OpSTQ, rS2, slotResult, base)
+	b.Store(isa.OpSTQ, rS3, slotAux, base)
+}
+
+func (k *branchy) functions(*Builder) {}
+
+// ---------------------------------------------------------------------------
+// hashtab: hashes keys into computed bucket addresses and updates the
+// buckets, the pattern of vortex/gap symbol tables. Store and load addresses
+// are data-dependent, so corrupted values become wrong addresses (mem-addr
+// symptoms or faults) rather than just wrong data.
+
+type hashTab struct {
+	keys    int
+	buckets int // power of two
+}
+
+func (k *hashTab) name() string { return "hashtab" }
+
+func (k *hashTab) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	keys := make([]uint64, k.keys)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	data := make([]byte, dataStart)
+	data = append(data, quadBytes(keys)...)
+	// Table of 16-byte buckets follows the keys.
+	data = append(data, make([]byte, k.buckets*16)...)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	b.LoadImm(base, addr)
+}
+
+func (k *hashTab) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	loop := uniq("loop")
+	tableOff := uint64(dataStart + k.keys*8)
+	b.OpLit(isa.OpADDQ, base, dataStart, rS0) // key cursor
+	b.LoadImm(rS1, uint64(k.keys))
+	b.LoadImm(rS2, 0x9E3779B97F4A7C15)
+	b.LoadImm(rS7, tableOff) // table offset from base
+	b.Op(isa.OpADDQ, base, rS7, rS7)
+	b.Label(loop)
+	b.Load(isa.OpLDQ, rS3, 0, rS0) // key
+	b.Op(isa.OpMULQ, rS3, rS2, rS4)
+	b.OpLit(isa.OpSRL, rS4, 48, rS4)
+	b.LoadImm(rS5, uint64(k.buckets-1))
+	b.Op(isa.OpAND, rS4, rS5, rS4)
+	b.OpLit(isa.OpSLL, rS4, 4, rS4)
+	b.Op(isa.OpADDQ, rS7, rS4, rS4) // bucket address
+	b.Load(isa.OpLDQ, rS6, 8, rS4)  // previous signature (read-modify)
+	b.Op(isa.OpXOR, rS6, rS3, rS6)
+	b.OpLit(isa.OpAND, rS6, 0x7F, rS6)
+	b.Op(isa.OpADDQ, rS6, rS3, rS6)
+	b.Store(isa.OpSTQ, rS6, 8, rS4) // idempotent given the same key set
+	b.Store(isa.OpSTQ, rS3, 0, rS4) // tag
+	b.OpLit(isa.OpADDQ, rS0, 8, rS0)
+	b.OpLit(isa.OpSUBQ, rS1, 1, rS1)
+	b.Branch(isa.OpBGT, rS1, loop)
+}
+
+func (k *hashTab) functions(*Builder) {}
+
+// ---------------------------------------------------------------------------
+// calltree: a three-deep call tree with stack-saved return addresses,
+// exercising BSR/RET, the return-address stack, and making link-register
+// values live data whose corruption becomes a control-flow violation.
+// Models gcc/gap/vortex call-intensive phases. Functions are emitted once;
+// every instance shares them.
+
+type callTree struct {
+	emitted bool
+	fOuter  string
+	fMid    string
+	fLeaf   string
+}
+
+func (k *callTree) name() string { return "calltree" }
+
+func (k *callTree) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	data := make([]byte, dataStart)
+	binary.LittleEndian.PutUint64(data[slotAux:], rng.Uint64()>>32)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	b.LoadImm(base, addr)
+	k.fOuter = "calltree_outer"
+	k.fMid = "calltree_mid"
+	k.fLeaf = "calltree_leaf"
+}
+
+func (k *callTree) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	// The argument is a pure function of the iteration counter and a
+	// stored constant, so corrupted call results wash out on the next
+	// outer iteration.
+	b.Load(isa.OpLDQ, rS0, slotAux, base)
+	b.Op(isa.OpADDQ, rS0, RegIter, rS0)
+	b.Call(k.fOuter)
+	b.Store(isa.OpSTQ, rS0, slotResult, base)
+}
+
+func (k *callTree) functions(b *Builder) {
+	if k.emitted {
+		return
+	}
+	k.emitted = true
+
+	// outer(x): x = mid(x) + mid(x^magic); uses stack frame.
+	b.Label(k.fOuter)
+	b.Emit(isa.Inst{Op: isa.OpLDA, Ra: isa.RegSP, Rb: isa.RegSP, Disp: -32})
+	b.Store(isa.OpSTQ, isa.RegRA, 0, isa.RegSP)
+	b.Store(isa.OpSTQ, rS4, 8, isa.RegSP)
+	b.Op(isa.OpBIS, rS0, rS0, rS4) // save x
+	b.Call(k.fMid)
+	b.Store(isa.OpSTQ, rS0, 16, isa.RegSP) // first result
+	b.OpLit(isa.OpXOR, rS4, 0x5A, rS0)
+	b.Call(k.fMid)
+	b.Load(isa.OpLDQ, rS1, 16, isa.RegSP)
+	b.Op(isa.OpADDQ, rS0, rS1, rS0)
+	b.Load(isa.OpLDQ, rS4, 8, isa.RegSP)
+	b.Load(isa.OpLDQ, isa.RegRA, 0, isa.RegSP)
+	b.Emit(isa.Inst{Op: isa.OpLDA, Ra: isa.RegSP, Rb: isa.RegSP, Disp: 32})
+	b.Ret()
+
+	// mid(x): leaf(x*3+1) with its own frame.
+	b.Label(k.fMid)
+	b.Emit(isa.Inst{Op: isa.OpLDA, Ra: isa.RegSP, Rb: isa.RegSP, Disp: -16})
+	b.Store(isa.OpSTQ, isa.RegRA, 0, isa.RegSP)
+	b.OpLit(isa.OpMULQ, rS0, 3, rS0)
+	b.OpLit(isa.OpADDQ, rS0, 1, rS0)
+	b.Call(k.fLeaf)
+	b.Load(isa.OpLDQ, isa.RegRA, 0, isa.RegSP)
+	b.Emit(isa.Inst{Op: isa.OpLDA, Ra: isa.RegSP, Rb: isa.RegSP, Disp: 16})
+	b.Ret()
+
+	// leaf(x): pure ALU mixing, no frame.
+	b.Label(k.fLeaf)
+	b.OpLit(isa.OpSRL, rS0, 7, rS1)
+	b.Op(isa.OpXOR, rS0, rS1, rS0)
+	b.OpLit(isa.OpSLL, rS0, 2, rS1)
+	b.Op(isa.OpADDQ, rS0, rS1, rS0)
+	b.OpLit(isa.OpAND, rS0, 0xFF, rS1) // dead-ish narrow value
+	b.Op(isa.OpBIS, rS0, rS0, rS0)
+	b.Ret()
+}
+
+// ---------------------------------------------------------------------------
+// switchy: jump-table dispatch through data-dependent indirect jumps, the
+// interpreter/dispatch pattern of gap and gcc. The jump table lives in data
+// and is filled with code addresses at link time.
+
+type switchy struct {
+	elems    int
+	emitted  bool
+	caseBase string
+}
+
+func (k *switchy) name() string { return "switchy" }
+
+const switchyCases = 8
+
+func (k *switchy) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	vals := make([]uint64, k.elems)
+	for i := range vals {
+		// Biased case distribution: case 0 is common, like a dominant
+		// opcode in an interpreter loop.
+		if rng.Float64() < 0.5 {
+			vals[i] = 0
+		} else {
+			vals[i] = uint64(rng.Intn(switchyCases))
+		}
+	}
+	data := make([]byte, dataStart)
+	data = append(data, quadBytes(vals)...)
+	jumpTableOff := uint64(len(data))
+	data = append(data, make([]byte, switchyCases*8)...)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	k.caseBase = fmt.Sprintf("switchy_%x_case", addr)
+	for c := 0; c < switchyCases; c++ {
+		b.PatchCodeAddr(addr, jumpTableOff+uint64(c)*8, fmt.Sprintf("%s%d", k.caseBase, c))
+	}
+	b.LoadImm(base, addr)
+}
+
+func (k *switchy) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	// The case blocks are emitted once (inside functions); each body
+	// dispatches through them via a shared "handler" function so multiple
+	// body instances can reuse the same jump targets.
+	b.Load(isa.OpLDQ, rS0, slotState, base) // cursor index
+	b.LoadImm(rS1, uint64(k.elems))
+	b.Op(isa.OpBIS, base, base, rS7) // handler needs base in rS7
+	b.Call(k.caseBase + "driver")
+	b.Store(isa.OpSTQ, rS2, slotResult, base)
+}
+
+func (k *switchy) functions(b *Builder) {
+	if k.emitted {
+		return
+	}
+	k.emitted = true
+	driver, loop, join := k.caseBase+"driver", k.caseBase+"loop", k.caseBase+"join"
+	jumpTableOff := uint64(dataStart + k.elems*8)
+
+	b.Label(driver)
+	b.OpLit(isa.OpADDQ, rS7, dataStart, rS0) // element cursor
+	b.Op(isa.OpBIS, isa.RegZero, isa.RegZero, rS2)
+	b.Label(loop)
+	b.Load(isa.OpLDQ, rS3, 0, rS0) // case selector
+	b.OpLit(isa.OpAND, rS3, switchyCases-1, rS3)
+	b.OpLit(isa.OpSLL, rS3, 3, rS3)
+	b.Op(isa.OpADDQ, rS7, rS3, rS3)
+	b.LoadImm(rS4, jumpTableOff)
+	b.Op(isa.OpADDQ, rS3, rS4, rS3)
+	b.Load(isa.OpLDQ, rS4, 0, rS3) // target address
+	b.JmpReg(rS4)
+	for c := 0; c < switchyCases; c++ {
+		b.Label(fmt.Sprintf("%s%d", k.caseBase, c))
+		b.OpLit(isa.OpADDQ, rS2, uint8(c*3+1), rS2)
+		if c%2 == 1 {
+			b.OpLit(isa.OpXOR, rS2, uint8(c), rS2)
+		}
+		b.Branch(isa.OpBR, isa.RegZero, join)
+	}
+	b.Label(join)
+	b.OpLit(isa.OpADDQ, rS0, 8, rS0)
+	b.OpLit(isa.OpSUBQ, rS1, 1, rS1)
+	b.Branch(isa.OpBGT, rS1, loop)
+	b.Ret()
+}
+
+// ---------------------------------------------------------------------------
+// stride: strided stores sweeping a buffer, modeling gzip/bzip2 output
+// phases. Provides stores whose *data* is easily corrupted (mem-data
+// symptoms) but overwritten on the next pass (masking).
+
+type stride struct {
+	elems int // 16-byte strides
+}
+
+func (k *stride) name() string { return "stride" }
+
+func (k *stride) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	data := make([]byte, dataStart+k.elems*16)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	b.LoadImm(base, addr)
+}
+
+func (k *stride) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	loop := uniq("loop")
+	b.OpLit(isa.OpADDQ, base, dataStart, rS0)
+	b.LoadImm(rS1, uint64(k.elems))
+	b.Op(isa.OpBIS, RegIter, RegIter, rS2) // seed from iteration counter
+	b.Label(loop)
+	b.Store(isa.OpSTQ, rS2, 0, rS0)
+	b.OpLit(isa.OpADDQ, rS2, 7, rS2)
+	b.Store(isa.OpSTL, rS2, 8, rS0)
+	b.OpLit(isa.OpADDQ, rS0, 16, rS0)
+	b.OpLit(isa.OpSUBQ, rS1, 1, rS1)
+	b.Branch(isa.OpBGT, rS1, loop)
+}
+
+func (k *stride) functions(*Builder) {}
+
+// ---------------------------------------------------------------------------
+// deadweight: computations whose results are never consumed — the explicit
+// stand-in for the dead and transitively-dead instruction population that
+// produces the paper's 59 % software masking level. All destinations are
+// scratch registers that the next kernel body overwrites before reading.
+
+type deadweight struct {
+	length int
+}
+
+func (k *deadweight) name() string { return "deadweight" }
+
+func (k *deadweight) setup(b *Builder, rng *rand.Rand, base isa.Reg) {
+	vals := make([]uint64, 32)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	data := make([]byte, dataStart)
+	data = append(data, quadBytes(vals)...)
+	addr := b.AllocData(k.name(), data, mem.PermRW)
+	b.LoadImm(base, addr)
+}
+
+func (k *deadweight) body(b *Builder, base isa.Reg, uniq func(string) string) {
+	for i := 0; i < k.length; i++ {
+		switch i % 4 {
+		case 0:
+			b.Load(isa.OpLDQ, rS5, int32(dataStart+(i%32)*8), base)
+		case 1:
+			b.OpLit(isa.OpMULQ, rS5, 13, rS6)
+		case 2:
+			b.OpLit(isa.OpXOR, rS6, 0x3C, rS5)
+		case 3:
+			b.OpLit(isa.OpSRL, rS5, 5, rS6)
+		}
+	}
+}
+
+func (k *deadweight) functions(*Builder) {}

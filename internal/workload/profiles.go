@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Benchmark names one of the seven SPEC2000 integer workloads the paper
+// evaluates (Section 4.2).
+type Benchmark string
+
+// The benchmark suite.
+const (
+	Bzip2  Benchmark = "bzip2"
+	Gap    Benchmark = "gap"
+	GCC    Benchmark = "gcc"
+	Gzip   Benchmark = "gzip"
+	MCF    Benchmark = "mcf"
+	Parser Benchmark = "parser"
+	Vortex Benchmark = "vortex"
+)
+
+// Benchmarks returns the full suite in the paper's order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{Bzip2, Gap, GCC, Gzip, MCF, Parser, Vortex}
+}
+
+// Config parameterises program generation.
+type Config struct {
+	// Seed drives all data-content and layout randomness. The same
+	// (benchmark, seed) pair always yields a bit-identical program.
+	Seed int64
+	// Scale multiplies data-structure sizes; 0 means 1.0. Campaigns use
+	// the default; tests may shrink footprints for speed.
+	Scale float64
+}
+
+type profile struct {
+	kernels []kernel
+	// sequence indexes kernels (with repetition) to form one outer
+	// iteration, expressing relative weights.
+	sequence []int
+}
+
+func scaled(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// profileFor builds the kernel mix for a benchmark. The mixes follow each
+// workload's published character: mcf is dominated by pointer chasing over a
+// large working set, gcc by branchy scans, dispatch and calls, gap by
+// arithmetic and interpreter-style dispatch, vortex by hash-table lookups,
+// parser by list walking and branchy token scans, bzip2/gzip by streaming
+// arithmetic over buffers.
+// Inner-loop trip counts are kept short and FIXED (not footprint-scaled):
+// like compiler-unrolled SPEC hot loops, their exit branches fall within the
+// global history window and predict correctly once warm, so mispredictions
+// — and therefore JRS high-confidence symptoms — are dominated by genuinely
+// data-dependent branches, matching the workload statistics the paper's
+// false-positive analysis rides on.
+const shortTrip = 8
+
+func profileFor(bench Benchmark, scale float64) (profile, error) {
+	s := func(n, min int) int { return scaled(n, scale, min) }
+	switch bench {
+	case Bzip2:
+		return profile{
+			kernels: []kernel{
+				&arraySum{elems: 2 * shortTrip},
+				&stride{elems: shortTrip},
+				&bitOps{iters: shortTrip},
+				&branchy{elems: 2 * shortTrip, bias: 0.85},
+				&deadweight{length: 24},
+			},
+			sequence: []int{0, 2, 1, 3, 4, 0, 2},
+		}, nil
+	case Gap:
+		return profile{
+			kernels: []kernel{
+				&bitOps{iters: shortTrip},
+				&hashTab{keys: shortTrip, buckets: s(1024, 64)},
+				&callTree{},
+				&switchy{elems: shortTrip},
+				&deadweight{length: 20},
+			},
+			sequence: []int{0, 3, 2, 1, 4, 0, 3},
+		}, nil
+	case GCC:
+		return profile{
+			kernels: []kernel{
+				&branchy{elems: 2 * shortTrip, bias: 0.92},
+				&switchy{elems: shortTrip},
+				&callTree{},
+				&hashTab{keys: shortTrip, buckets: s(2048, 64)},
+				&deadweight{length: 28},
+			},
+			sequence: []int{0, 2, 1, 0, 3, 4, 2},
+		}, nil
+	case Gzip:
+		return profile{
+			kernels: []kernel{
+				&arraySum{elems: 2 * shortTrip},
+				&bitOps{iters: shortTrip},
+				&stride{elems: shortTrip},
+				&branchy{elems: 2 * shortTrip, bias: 0.9},
+				&deadweight{length: 20},
+			},
+			sequence: []int{0, 1, 3, 2, 4, 1},
+		}, nil
+	case MCF:
+		return profile{
+			kernels: []kernel{
+				&ptrChase{nodes: s(16384, 64), steps: shortTrip},
+				&branchy{elems: 2 * shortTrip, bias: 0.88},
+				&ptrChase{nodes: s(4096, 32), steps: shortTrip},
+				&deadweight{length: 16},
+			},
+			sequence: []int{0, 1, 2, 0, 3},
+		}, nil
+	case Parser:
+		return profile{
+			kernels: []kernel{
+				&ptrChase{nodes: s(2048, 32), steps: shortTrip},
+				&branchy{elems: 2 * shortTrip, bias: 0.9},
+				&callTree{},
+				&bitOps{iters: shortTrip},
+				&deadweight{length: 24},
+			},
+			sequence: []int{0, 1, 2, 1, 3, 4, 0},
+		}, nil
+	case Vortex:
+		return profile{
+			kernels: []kernel{
+				&hashTab{keys: shortTrip, buckets: s(8192, 64)},
+				&ptrChase{nodes: s(4096, 32), steps: shortTrip},
+				&callTree{},
+				&arraySum{elems: 2 * shortTrip},
+				&deadweight{length: 20},
+			},
+			sequence: []int{0, 1, 2, 0, 3, 4},
+		}, nil
+	}
+	return profile{}, fmt.Errorf("workload: unknown benchmark %q", bench)
+}
+
+// Generate builds the synthetic program for a benchmark. Programs loop
+// forever: the outer loop re-runs the kernel sequence and bumps a global
+// iteration counter, so any fault-injection window length is available.
+func Generate(bench Benchmark, cfg Config) (*Program, error) {
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	prof, err := profileFor(bench, scale)
+	if err != nil {
+		return nil, err
+	}
+	if len(prof.kernels) > 10 {
+		return nil, fmt.Errorf("workload: %s uses %d kernels; only 10 base registers", bench, len(prof.kernels))
+	}
+
+	h := fnv.New64a()
+	h.Write([]byte(bench))
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64())))
+
+	b := NewBuilder(string(bench))
+
+	// Global iteration-counter slot.
+	iterSeg := b.AllocData("globals", make([]byte, dataStart), mem.PermRW)
+
+	// Entry: establish the stack, clear the iteration counter, run kernel
+	// setups (each loads its base register).
+	b.LoadImm(isa.RegSP, StackTop)
+	b.Op(isa.OpBIS, isa.RegZero, isa.RegZero, RegIter)
+	b.LoadImm(isa.Reg(15), iterSeg) // r15 holds the globals base
+	for i, k := range prof.kernels {
+		k.setup(b, rng, RegBase0+isa.Reg(i))
+	}
+
+	// Outer loop.
+	b.Label("main_loop")
+	bodyInstance := 0
+	for _, ki := range prof.sequence {
+		k := prof.kernels[ki]
+		instance := bodyInstance
+		uniq := func(l string) string {
+			return fmt.Sprintf("%s_%d_%s", k.name(), instance, l)
+		}
+		k.body(b, RegBase0+isa.Reg(ki), uniq)
+		bodyInstance++
+	}
+	b.OpLit(isa.OpADDQ, RegIter, 1, RegIter)
+	b.Store(isa.OpSTQ, RegIter, slotState, isa.Reg(15))
+	b.Branch(isa.OpBR, isa.RegZero, "main_loop")
+
+	// Out-of-line functions (shared across body instances).
+	for _, k := range prof.kernels {
+		k.functions(b)
+	}
+
+	return b.Build()
+}
+
+// MustGenerate is Generate for known-good inputs; it panics on error.
+// Intended for tests and examples where the benchmark name is a constant.
+func MustGenerate(bench Benchmark, cfg Config) *Program {
+	p, err := Generate(bench, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
