@@ -1,0 +1,44 @@
+# Reproduction of ReStore (Wang & Patel, DSN 2005). Plain Go, no
+# dependencies; every target below is what CI runs.
+
+GO ?= go
+
+.PHONY: all build test race lint vet staticcheck statecheck bench clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full suite under the race detector (what CI gates on).
+race:
+	$(GO) test -race ./...
+
+# lint = vet + staticcheck (when installed) + the state-space registration
+# linter. staticcheck is optional locally — CI installs it — so the target
+# degrades gracefully on machines without it.
+lint: vet staticcheck statecheck
+
+vet:
+	$(GO) vet ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# statecheck verifies that every uint64 state word of the pipeline model is
+# registered in the injectable StateSpace (tools/statecheck).
+statecheck:
+	$(GO) run ./tools/statecheck
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -21,6 +21,7 @@
 //	ablate-jrs    sweep the JRS confidence threshold (coverage vs cost)
 //	ablate-ckpt   sweep the number of live checkpoints (reach vs cost)
 //	vulnerability per-structure failure breakdown (AVF-style)
+//	analyze       static bit-level ACE/AVF prediction per benchmark (no injection)
 //	demo          run the ReStore processor and print its activity report
 //	all           everything above, in order
 //
@@ -39,6 +40,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/perf"
 	"repro/internal/restore"
+	"repro/internal/staticvuln"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -79,7 +81,7 @@ func run(args []string) error {
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n\n")
-		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability demo all\n\n")
+		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability analyze demo all\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -135,6 +137,8 @@ func run(args []string) error {
 		return c.ablateCheckpoints()
 	case "vulnerability":
 		return c.vulnerability()
+	case "analyze":
+		return c.analyze()
 	case "demo":
 		return c.demo()
 	case "all":
@@ -403,6 +407,43 @@ func (c *cli) vulnerability() error {
 	return nil
 }
 
+// analyze runs the static ACE/AVF analysis (no fault injection) over each
+// benchmark and prints per-program reports plus a suite summary comparable to
+// fig2's measured distribution.
+func (c *cli) analyze() error {
+	fmt.Println("static bit-level vulnerability analysis (ACE/AVF prediction, no injection)")
+	fmt.Printf("seed %d, scale %g\n\n", c.opts.Seed, c.opts.Scale)
+	type row struct {
+		bench  workload.Benchmark
+		masked float64
+		fr     map[staticvuln.Symptom]float64
+	}
+	var rows []row
+	for _, bench := range c.benchList() {
+		prog, err := workload.Generate(bench, workload.Config{Seed: c.opts.Seed, Scale: c.opts.Scale})
+		if err != nil {
+			return err
+		}
+		rep, err := staticvuln.Analyze(prog, staticvuln.Options{})
+		if err != nil {
+			return fmt.Errorf("analyze %s: %w", bench, err)
+		}
+		fmt.Print(rep.Render(false))
+		fmt.Println()
+		rows = append(rows, row{bench, rep.MaskedFraction(false), rep.SymptomFractions(false)})
+	}
+	fmt.Printf("%-10s %8s %10s %8s %8s %10s\n",
+		"benchmark", "masked", "exception", "cfv", "mem", "register")
+	for _, r := range rows {
+		fmt.Printf("%-10s %7.1f%% %9.1f%% %7.1f%% %7.1f%% %9.1f%%\n", r.bench,
+			100*r.masked, 100*r.fr[staticvuln.SymException], 100*r.fr[staticvuln.SymCFV],
+			100*r.fr[staticvuln.SymMem], 100*r.fr[staticvuln.SymRegister])
+	}
+	fmt.Println("\n(predictions follow the fig2 injection model: uniform flips of result")
+	fmt.Println(" bits; compare the masked column against `fig2 -perbench`)")
+	return nil
+}
+
 func (c *cli) demo() error {
 	bench := workload.MCF
 	if len(c.opts.Benchmarks) > 0 {
@@ -442,6 +483,7 @@ func (c *cli) all() error {
 		c.fig8,
 		c.summary,
 		c.compare,
+		c.analyze,
 	}
 	for i, step := range steps {
 		if i > 0 {

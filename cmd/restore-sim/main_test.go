@@ -16,7 +16,7 @@ func tinyArgs(experiment string) []string {
 func TestRunExperimentsSmoke(t *testing.T) {
 	experiments := []string{
 		"fig2", "fig4", "fig5", "fig6", "fig8", "summary", "compare",
-		"ablate-ckpt", "vulnerability",
+		"ablate-ckpt", "vulnerability", "analyze",
 	}
 	for _, exp := range experiments {
 		exp := exp

@@ -323,6 +323,66 @@ func (i Inst) Srcs() ([2]Reg, int) {
 	return s, 0
 }
 
+// UseKind classifies how an instruction consumes a source register. Static
+// vulnerability analysis (internal/staticvuln) maps each kind to the soft
+// error symptom the paper's Section 3 taxonomy predicts for a corruption
+// flowing into that use: address bases surface as memory exceptions in the
+// sparse address space, condition and target registers as control-flow
+// violations, store data as memory corruption.
+type UseKind uint8
+
+// Use kinds.
+const (
+	// UseOperand is a plain ALU/data operand; corruption propagates into
+	// the result value.
+	UseOperand UseKind = iota + 1
+	// UseAddrBase is a load/store address base register.
+	UseAddrBase
+	// UseStoreData is the value a store writes to memory.
+	UseStoreData
+	// UseCondition decides a conditional branch or conditional move.
+	UseCondition
+	// UseTarget supplies an indirect branch target (JMP/JSR/RET).
+	UseTarget
+)
+
+// RegUse is one classified source-register read.
+type RegUse struct {
+	Reg  Reg
+	Kind UseKind
+}
+
+// Uses returns the instruction's source-register reads with their use kinds.
+// It covers the same registers as Srcs but additionally says what each read
+// feeds. Reads of RegZero are included; callers that care should filter.
+func (i Inst) Uses() []RegUse {
+	switch ClassOf(i.Op) {
+	case ClassALU, ClassMul:
+		if i.Op == OpLDA || i.Op == OpLDAH {
+			return []RegUse{{i.Rb, UseOperand}}
+		}
+		if i.Op == OpCMOVEQ || i.Op == OpCMOVNE {
+			return []RegUse{{i.Ra, UseCondition}, {i.Rb, UseOperand}}
+		}
+		if i.UseLit {
+			return []RegUse{{i.Ra, UseOperand}}
+		}
+		return []RegUse{{i.Ra, UseOperand}, {i.Rb, UseOperand}}
+	case ClassLoad:
+		return []RegUse{{i.Rb, UseAddrBase}}
+	case ClassStore:
+		return []RegUse{{i.Rb, UseAddrBase}, {i.Ra, UseStoreData}}
+	case ClassBranch:
+		if i.IsCondBranch() {
+			return []RegUse{{i.Ra, UseCondition}}
+		}
+		if i.IsIndirect() {
+			return []RegUse{{i.Rb, UseTarget}}
+		}
+	}
+	return nil
+}
+
 // String renders the instruction in assembler-like notation.
 func (i Inst) String() string {
 	switch {

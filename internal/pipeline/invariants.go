@@ -10,11 +10,16 @@ import "fmt"
 // Invariants checked:
 //
 //  1. occupancy counters within structure bounds;
-//  2. no physical register is simultaneously free and mapped by either RAT
+//  2. every raw RAT entry names an in-range physical register (the access
+//     paths mask with %PhysRegs so corrupted entries alias rather than
+//     crash, which would silently hide the corruption from this checker);
+//  3. no physical register is simultaneously free and mapped by either RAT
 //     or in flight as a ROB destination;
-//  3. live ROB entries have their valid flag set;
-//  4. scheduler entries reference live ROB entries;
-//  5. every live store ROB entry has a valid STQ slot, and STQ occupancy
+//  4. the free list holds exactly the registers nothing maps: its
+//     population count is PhysRegs minus the live set;
+//  5. live ROB entries have their valid flag set;
+//  6. scheduler entries reference live ROB entries;
+//  7. every live store ROB entry has a valid STQ slot, and STQ occupancy
 //     matches the number of live stores.
 func (p *Pipeline) CheckInvariants() error {
 	if p.rob.count > ROBSize {
@@ -28,6 +33,17 @@ func (p *Pipeline) CheckInvariants() error {
 	}
 	if p.ldq.count > LDQSize {
 		return fmt.Errorf("ldq count %d exceeds capacity", p.ldq.count)
+	}
+
+	// Check the raw RAT words before reading them through get(), which
+	// masks out-of-range tags into aliases and would mute the diagnostic.
+	for r := uint64(0); r < 32; r++ {
+		if raw := p.specRAT.m[r]; raw >= PhysRegs {
+			return fmt.Errorf("specRAT[%d] holds out-of-range physical tag %d (PhysRegs = %d)", r, raw, PhysRegs)
+		}
+		if raw := p.archRAT.m[r]; raw >= PhysRegs {
+			return fmt.Errorf("archRAT[%d] holds out-of-range physical tag %d (PhysRegs = %d)", r, raw, PhysRegs)
+		}
 	}
 
 	// Liveness map over physical registers.
@@ -69,11 +85,22 @@ func (p *Pipeline) CheckInvariants() error {
 		return fmt.Errorf("ldq count %d but %d live loads in rob", p.ldq.count, loads)
 	}
 
+	liveCount, freeCount := uint64(0), uint64(0)
 	for tag := uint64(0); tag < PhysRegs; tag++ {
 		isFree := p.free.bits[tag/64]&(1<<(tag%64)) != 0
 		if isFree && live[tag] {
 			return fmt.Errorf("physical register %d is both free and live", tag)
 		}
+		if live[tag] {
+			liveCount++
+		}
+		if isFree {
+			freeCount++
+		}
+	}
+	if freeCount != PhysRegs-liveCount {
+		return fmt.Errorf("free list holds %d registers, want %d (PhysRegs %d - %d live): a register leaked or was double-freed",
+			freeCount, PhysRegs-liveCount, uint64(PhysRegs), liveCount)
 	}
 
 	for i := range p.sched.flags {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/workload"
@@ -51,5 +52,61 @@ func TestInvariantsDetectCorruption(t *testing.T) {
 	p.free.free(mapped)
 	if err := p.CheckInvariants(); err == nil {
 		t.Fatal("free/live conflict not detected")
+	}
+}
+
+func TestInvariantsDetectRATAndFreeListCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p *Pipeline)
+		wantSub string
+	}{
+		{
+			// A flipped high bit in a RAT SRAM word: the access paths
+			// mask it into an alias, but the checker must report the raw
+			// out-of-range tag, not the masked one.
+			name:    "specRAT out of range",
+			corrupt: func(p *Pipeline) { p.specRAT.m[3] = PhysRegs + 5 },
+			wantSub: "specRAT[3]",
+		},
+		{
+			name:    "archRAT out of range",
+			corrupt: func(p *Pipeline) { p.archRAT.m[7] = 1 << 40 },
+			wantSub: "archRAT[7]",
+		},
+		{
+			// A cleared free bit leaks a register: nothing maps it and
+			// nothing can ever allocate it. Only the population count
+			// catches this — no free/live conflict exists.
+			name: "leaked register",
+			corrupt: func(p *Pipeline) {
+				for w := range p.free.bits {
+					if p.free.bits[w] != 0 {
+						p.free.bits[w] &= p.free.bits[w] - 1 // drop lowest set bit
+						return
+					}
+				}
+				t.Fatal("no free register to leak")
+			},
+			wantSub: "free list holds",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := newBenchPipeline(t, workload.Gzip, DefaultConfig())
+			p.RunCycles(2000)
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("clean state flagged: %v", err)
+			}
+			tc.corrupt(p)
+			err := p.CheckInvariants()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }

@@ -381,7 +381,7 @@ type execWindow struct {
 	rob [execSlots]uint64
 
 	busy   [execSlots]bool   // not injectable: scheduling metadata
-	doneAt [execSlots]uint64 // not injectable
+	doneAt [execSlots]uint64 //statecheck:ignore — completion timing, scheduling metadata
 }
 
 const execNoDest = 1 << 7

@@ -1,0 +1,320 @@
+package staticvuln
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// block is one basic block: instructions [start, end) with the CFG edges the
+// final instruction induces.
+type block struct {
+	start, end int
+	succs      []int // successor block indices
+	preds      []int
+}
+
+// cfg is the control-flow graph over a decoded program.
+type cfg struct {
+	prog  *workload.Program
+	insts []isa.Inst
+
+	blocks    []block
+	instBlock []int // instruction index -> owning block
+	entry     int   // entry block index
+
+	// loopDepth[b] counts the natural loops containing block b; it drives
+	// the purely static execution-weight estimate.
+	loopDepth []int
+
+	// indirectTargets are block indices recovered from code addresses
+	// embedded in data segments (jump tables); they become the successor
+	// set of indirect JMP/JSR instructions.
+	indirectTargets []int
+}
+
+// buildCFG decodes the program and constructs its control-flow graph.
+func buildCFG(p *workload.Program) (*cfg, error) {
+	if len(p.Code) == 0 {
+		return nil, fmt.Errorf("staticvuln: empty program")
+	}
+	g := &cfg{prog: p, insts: make([]isa.Inst, len(p.Code))}
+	for i, w := range p.Code {
+		g.insts[i] = isa.Decode(w)
+	}
+
+	entryIdx, ok := g.indexOf(p.Entry)
+	if !ok {
+		return nil, fmt.Errorf("staticvuln: entry %#x outside code", p.Entry)
+	}
+
+	tableTargets := g.recoverJumpTables()
+
+	// Leaders: entry, branch targets, instructions after control transfers.
+	leader := make([]bool, len(g.insts))
+	leader[entryIdx] = true
+	markTarget := func(idx int) {
+		if idx >= 0 && idx < len(leader) {
+			leader[idx] = true
+		}
+	}
+	for i, inst := range g.insts {
+		if !inst.IsBranch() && inst.Op != isa.OpHALT && inst.Op != isa.OpInvalid {
+			continue
+		}
+		if i+1 < len(leader) {
+			leader[i+1] = true
+		}
+		if inst.IsBranch() && !inst.IsIndirect() {
+			if t, ok := g.branchTargetIndex(i); ok {
+				markTarget(t)
+			}
+		}
+	}
+	for _, t := range tableTargets {
+		markTarget(t)
+	}
+
+	// Carve blocks.
+	g.instBlock = make([]int, len(g.insts))
+	start := 0
+	flush := func(end int) {
+		if end <= start {
+			return
+		}
+		b := len(g.blocks)
+		g.blocks = append(g.blocks, block{start: start, end: end})
+		for i := start; i < end; i++ {
+			g.instBlock[i] = b
+		}
+		start = end
+	}
+	for i := 1; i < len(g.insts); i++ {
+		if leader[i] {
+			flush(i)
+		}
+	}
+	flush(len(g.insts))
+
+	for _, t := range tableTargets {
+		g.indirectTargets = append(g.indirectTargets, g.instBlock[t])
+	}
+	g.entry = g.instBlock[entryIdx]
+
+	// Edges.
+	for bi := range g.blocks {
+		b := &g.blocks[bi]
+		last := g.insts[b.end-1]
+		addSucc := func(instIdx int) {
+			if instIdx < 0 || instIdx >= len(g.insts) {
+				return
+			}
+			b.succs = append(b.succs, g.instBlock[instIdx])
+		}
+		switch {
+		case last.Op == isa.OpHALT || last.Op == isa.OpInvalid:
+			// No successors.
+		case last.Op == isa.OpRET:
+			// Return: the continuation belongs to the caller; modelled
+			// by the caller's BSR/JSR fallthrough edge.
+		case last.Op == isa.OpJMP || last.Op == isa.OpJSR:
+			for _, t := range g.indirectTargets {
+				b.succs = append(b.succs, t)
+			}
+			if last.Op == isa.OpJSR {
+				addSucc(b.end) // call returns to the fallthrough
+			}
+		case last.Op == isa.OpBR:
+			if t, ok := g.branchTargetIndex(b.end - 1); ok {
+				addSucc(t)
+			}
+		case last.Op == isa.OpBSR:
+			// Calls both enter the callee and (via its eventual RET)
+			// continue at the fallthrough; modelling both edges here is
+			// the standard summary-free interprocedural approximation.
+			if t, ok := g.branchTargetIndex(b.end - 1); ok {
+				addSucc(t)
+			}
+			addSucc(b.end)
+		case last.IsCondBranch():
+			if t, ok := g.branchTargetIndex(b.end - 1); ok {
+				addSucc(t)
+			}
+			addSucc(b.end)
+		default:
+			addSucc(b.end)
+		}
+		b.succs = dedupInts(b.succs)
+	}
+	for bi := range g.blocks {
+		for _, s := range g.blocks[bi].succs {
+			g.blocks[s].preds = append(g.blocks[s].preds, bi)
+		}
+	}
+
+	g.computeLoopDepth()
+	return g, nil
+}
+
+// indexOf maps a code address to its instruction index.
+func (g *cfg) indexOf(addr uint64) (int, bool) {
+	base := g.prog.CodeBase
+	limit := base + uint64(len(g.insts))*isa.InstBytes
+	if addr < base || addr >= limit || (addr-base)%isa.InstBytes != 0 {
+		return 0, false
+	}
+	return int((addr - base) / isa.InstBytes), true
+}
+
+// pc returns the address of instruction i.
+func (g *cfg) pc(i int) uint64 {
+	return g.prog.CodeBase + uint64(i)*isa.InstBytes
+}
+
+func (g *cfg) branchTargetIndex(i int) (int, bool) {
+	return g.indexOf(isa.BranchTarget(g.pc(i), g.insts[i].Disp))
+}
+
+// recoverJumpTables scans the data segments for 8-byte-aligned words that
+// hold valid code addresses: the linker patches jump tables into data
+// (workload.Builder.PatchCodeAddr), so any such word is a potential indirect
+// branch target. This is classic binary-analysis jump-table recovery and
+// keeps dispatch-style code (the switchy kernel) connected in the CFG.
+func (g *cfg) recoverJumpTables() []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, seg := range g.prog.Segments {
+		data := seg.Data
+		for off := 0; off+8 <= len(data); off += 8 {
+			v := binary.LittleEndian.Uint64(data[off:])
+			if idx, ok := g.indexOf(v); ok && !seen[idx] {
+				seen[idx] = true
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}
+
+// computeLoopDepth identifies natural loops (via iterative dominators and
+// back edges) and counts, per block, how many loops contain it.
+func (g *cfg) computeLoopDepth() {
+	n := len(g.blocks)
+	g.loopDepth = make([]int, n)
+	if n == 0 {
+		return
+	}
+
+	// Iterative dominator sets over bitsets.
+	words := (n + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	dom := make([][]uint64, n)
+	for i := range dom {
+		dom[i] = make([]uint64, words)
+		copy(dom[i], full)
+	}
+	entryOnly := make([]uint64, words)
+	entryOnly[g.entry/64] |= 1 << (g.entry % 64)
+	copy(dom[g.entry], entryOnly)
+
+	order := g.reversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == g.entry {
+				continue
+			}
+			tmp := make([]uint64, words)
+			copy(tmp, full)
+			any := false
+			for _, p := range g.blocks[b].preds {
+				any = true
+				for w := range tmp {
+					tmp[w] &= dom[p][w]
+				}
+			}
+			if !any {
+				copy(tmp, full)
+			}
+			tmp[b/64] |= 1 << (b % 64)
+			for w := range tmp {
+				if tmp[w] != dom[b][w] {
+					changed = true
+				}
+			}
+			copy(dom[b], tmp)
+		}
+	}
+	dominates := func(a, b int) bool { return dom[b][a/64]&(1<<(a%64)) != 0 }
+
+	// Back edges u->h with h dominating u; collect the natural loop body
+	// (nodes reaching u without passing h) and bump depths.
+	for u := 0; u < n; u++ {
+		for _, h := range g.blocks[u].succs {
+			if !dominates(h, u) {
+				continue
+			}
+			inLoop := make([]bool, n)
+			inLoop[h] = true
+			stack := []int{u}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inLoop[v] {
+					continue
+				}
+				inLoop[v] = true
+				stack = append(stack, g.blocks[v].preds...)
+			}
+			for b := 0; b < n; b++ {
+				if inLoop[b] {
+					g.loopDepth[b]++
+				}
+			}
+		}
+	}
+}
+
+// reversePostorder returns blocks in reverse postorder from the entry;
+// unreachable blocks are appended afterwards so every block is visited.
+func (g *cfg) reversePostorder() []int {
+	visited := make([]bool, len(g.blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		if visited[b] {
+			return
+		}
+		visited[b] = true
+		for _, s := range g.blocks[b].succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(g.entry)
+	for b := range g.blocks {
+		dfs(b)
+	}
+	out := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	return out
+}
+
+func dedupInts(in []int) []int {
+	seen := make(map[int]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package staticvuln
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// Profile runs the program fault-free on the architectural simulator and
+// returns per-static-instruction sampling weights matching the injection
+// campaign's point model: points land uniformly on dynamic instructions and
+// walk forward to the next instruction that writes a real register, so every
+// store, branch and zero-dest instruction donates its sampling mass to the
+// register-writing instruction that follows it dynamically. skip
+// instructions of warm-up are discarded before count instructions are
+// tallied.
+func Profile(p *workload.Program, skip, count uint64) ([]uint64, error) {
+	m, err := p.NewMemory()
+	if err != nil {
+		return nil, fmt.Errorf("staticvuln: profile: %w", err)
+	}
+	sim := arch.New(m, p.Entry)
+	weights := make([]uint64, len(p.Code))
+	limit := p.CodeBase + uint64(len(p.Code))*isa.InstBytes
+	pending := uint64(0)
+	for i := uint64(0); i < skip+count; i++ {
+		pc := sim.PC
+		ev := sim.Step()
+		if ev.Exception != arch.ExcNone {
+			return nil, fmt.Errorf("staticvuln: profile: exception %v at pc=%#x", ev.Exception, pc)
+		}
+		if ev.Halted {
+			break
+		}
+		if i < skip {
+			continue
+		}
+		pending++
+		if ev.DestValid && ev.Dest != isa.RegZero && pc >= p.CodeBase && pc < limit {
+			weights[(pc-p.CodeBase)/isa.InstBytes] += pending
+			pending = 0
+		}
+	}
+	return weights, nil
+}
+
+// staticWeights estimates execution counts without running the program:
+// geometric growth in loop depth, zero for unreachable blocks. Used when no
+// profile is supplied and profiling fails.
+func staticWeights(g *cfg, reach []bool) []uint64 {
+	w := make([]uint64, len(g.insts))
+	for b := range g.blocks {
+		if !reach[b] {
+			continue
+		}
+		bw := uint64(1)
+		for d := 0; d < g.loopDepth[b] && d < 16; d++ {
+			bw *= 8
+		}
+		for i := g.blocks[b].start; i < g.blocks[b].end; i++ {
+			w[i] = bw
+		}
+	}
+	return w
+}

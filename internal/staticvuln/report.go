@@ -1,0 +1,238 @@
+package staticvuln
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// InstReport is the static verdict for one instruction: which bits of its
+// result are ACE, broken down by the symptom class a flip of each bit would
+// eventually trigger. Weight is the (estimated or profiled) execution count,
+// which turns per-instruction verdicts into program-level AVF.
+type InstReport struct {
+	Index   int
+	PC      uint64
+	Inst    isa.Inst
+	Dest    isa.Reg
+	HasDest bool
+	Weight  uint64
+
+	// Per-class ACE masks over the 64 result bits. A bit may appear in
+	// several classes; Symptom precedence (exception > CFV > mem > register)
+	// resolves the overlap, mirroring the dynamic campaign's classifier.
+	Exception uint64
+	CFV       uint64
+	Mem       uint64
+	Register  uint64
+
+	// Latency is a static lower bound, in instructions, from the fault to
+	// its first architecturally visible symptom.
+	Latency uint32
+}
+
+// ACEMask returns the union of all live classes.
+func (r *InstReport) ACEMask() uint64 {
+	return r.Exception | r.CFV | r.Mem | r.Register
+}
+
+// ClassOf resolves the symptom class of one result bit using the same
+// precedence order the dynamic classifier applies.
+func (r *InstReport) ClassOf(bit uint) Symptom {
+	m := uint64(1) << bit
+	switch {
+	case r.Exception&m != 0:
+		return SymException
+	case r.CFV&m != 0:
+		return SymCFV
+	case r.Mem&m != 0:
+		return SymMem
+	case r.Register&m != 0:
+		return SymRegister
+	}
+	return SymMasked
+}
+
+// Report is the static vulnerability analysis of one program.
+type Report struct {
+	Program string
+	Insts   []InstReport
+}
+
+// targets returns the instructions the injection model samples: those with a
+// real (non-zero) destination register, weighted by execution count.
+func (rp *Report) targets() []*InstReport {
+	var out []*InstReport
+	for i := range rp.Insts {
+		r := &rp.Insts[i]
+		if r.HasDest && r.Dest != isa.RegZero && r.Weight > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func wordBits(low32 bool) uint {
+	if low32 {
+		return 32
+	}
+	return 64
+}
+
+func maskFor(low32 bool) uint64 {
+	if low32 {
+		return 0xFFFF_FFFF
+	}
+	return ^uint64(0)
+}
+
+// MaskedFraction predicts the fraction of single-bit faults the program
+// masks: flips of un-ACE result bits, weighted exactly like the dynamic
+// campaign samples (uniform over dynamic instructions with a destination,
+// uniform over the 64 — or low 32 — bits of the result).
+func (rp *Report) MaskedFraction(low32 bool) float64 {
+	bits := wordBits(low32)
+	wmask := maskFor(low32)
+	var dead, total float64
+	for _, r := range rp.targets() {
+		w := float64(r.Weight)
+		ace := r.ACEMask() & wmask
+		dead += w * float64(bits-uint(popcount(ace)))
+		total += w * float64(bits)
+	}
+	if total == 0 {
+		return 0
+	}
+	return dead / total
+}
+
+// SymptomFractions predicts, per symptom class, the fraction of single-bit
+// faults resolving to that class (masked included), using the dynamic
+// classifier's precedence to resolve bits live in several classes.
+func (rp *Report) SymptomFractions(low32 bool) map[Symptom]float64 {
+	bits := wordBits(low32)
+	wmask := maskFor(low32)
+	counts := make(map[Symptom]float64)
+	var total float64
+	for _, r := range rp.targets() {
+		w := float64(r.Weight)
+		exc := r.Exception & wmask
+		cfv := r.CFV & wmask &^ exc
+		memb := r.Mem & wmask &^ (exc | cfv)
+		reg := r.Register & wmask &^ (exc | cfv | memb)
+		live := exc | cfv | memb | reg
+		counts[SymException] += w * float64(popcount(exc))
+		counts[SymCFV] += w * float64(popcount(cfv))
+		counts[SymMem] += w * float64(popcount(memb))
+		counts[SymRegister] += w * float64(popcount(reg))
+		counts[SymMasked] += w * float64(bits-uint(popcount(live)))
+		total += w * float64(bits)
+	}
+	if total == 0 {
+		return counts
+	}
+	for k := range counts {
+		counts[k] /= total
+	}
+	return counts
+}
+
+// RegisterAVF is the static AVF of one architectural register: the weighted
+// fraction of its written bits that are ACE.
+type RegisterAVF struct {
+	Reg    isa.Reg
+	AVF    float64
+	Weight uint64 // total dynamic writes
+}
+
+// PerRegisterAVF aggregates ACE fractions by destination register, sorted by
+// descending AVF (ties by register number).
+func (rp *Report) PerRegisterAVF(low32 bool) []RegisterAVF {
+	bits := wordBits(low32)
+	wmask := maskFor(low32)
+	type acc struct {
+		ace, total float64
+		weight     uint64
+	}
+	accs := make(map[isa.Reg]*acc)
+	for _, r := range rp.targets() {
+		a := accs[r.Dest]
+		if a == nil {
+			a = &acc{}
+			accs[r.Dest] = a
+		}
+		w := float64(r.Weight)
+		a.ace += w * float64(popcount(r.ACEMask()&wmask))
+		a.total += w * float64(bits)
+		a.weight += r.Weight
+	}
+	out := make([]RegisterAVF, 0, len(accs))
+	for reg, a := range accs {
+		out = append(out, RegisterAVF{Reg: reg, AVF: a.ace / a.total, Weight: a.weight})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AVF != out[j].AVF {
+			return out[i].AVF > out[j].AVF
+		}
+		return out[i].Reg < out[j].Reg
+	})
+	return out
+}
+
+// MeanLatency returns the weighted mean static latency bound, in
+// instructions, over ACE bits only.
+func (rp *Report) MeanLatency(low32 bool) float64 {
+	wmask := maskFor(low32)
+	var sum, n float64
+	for _, r := range rp.targets() {
+		ace := r.ACEMask() & wmask
+		// Distances near the saturation ceiling come from boundary facts
+		// (program exit), not from a reachable symptom; exclude them.
+		if ace == 0 || r.Latency >= maxDist/2 {
+			continue
+		}
+		w := float64(r.Weight) * float64(popcount(ace))
+		sum += w * float64(r.Latency)
+		n += w
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Render formats the report as a human-readable summary: program-level
+// symptom distribution, the most vulnerable registers, and the hottest
+// unprotected instructions.
+func (rp *Report) Render(low32 bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "static vulnerability report: %s\n", rp.Program)
+	fmt.Fprintf(&b, "  predicted masked fraction: %.1f%%\n", rp.MaskedFraction(low32)*100)
+	fr := rp.SymptomFractions(low32)
+	fmt.Fprintf(&b, "  predicted symptom distribution:\n")
+	for _, s := range []Symptom{SymException, SymCFV, SymMem, SymRegister, SymMasked} {
+		fmt.Fprintf(&b, "    %-12s %6.2f%%\n", s, fr[s]*100)
+	}
+	if lat := rp.MeanLatency(low32); lat > 0 {
+		fmt.Fprintf(&b, "  mean static latency bound: %.0f instructions\n", lat)
+	}
+	fmt.Fprintf(&b, "  per-register AVF (top 8):\n")
+	for i, ra := range rp.PerRegisterAVF(low32) {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "    r%-3d AVF %5.1f%%  (writes %d)\n", ra.Reg, ra.AVF*100, ra.Weight)
+	}
+	return b.String()
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

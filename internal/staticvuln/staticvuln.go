@@ -1,0 +1,155 @@
+// Package staticvuln statically predicts the soft-error vulnerability of a
+// program, reproducing by analysis what internal/inject measures by
+// fault-injection campaign.
+//
+// The analysis follows the structure of the paper's Section 3: a transient
+// fault in a register is architecturally masked unless the corrupted bits
+// flow into an address computation (→ exception, thanks to the sparse
+// address space), a branch condition or jump target (→ control-flow
+// violation), a store (→ memory divergence) or long-lived architectural
+// state (→ register divergence). The pipeline is
+//
+//	CFG construction        (cfg.go)     — basic blocks, natural loops,
+//	                                       jump-table recovery
+//	forward address absint  (absint.go)  — where does each load/store point,
+//	                                       which address-bit flips fault
+//	backward bit liveness   (liveness.go)— per-register, per-bit, per-class
+//	                                       ACE facts with latency bounds
+//	aggregation             (report.go)  — AVF and symptom distribution
+//	                                       weighted by an execution profile
+//
+// A result bit that reaches no symptom class is un-ACE: the analysis
+// guarantees every architectural effect of flipping it washes out, so the
+// dynamic campaign must classify it as masked. Live verdicts are
+// conservative approximations — a bit the analysis calls live may still be
+// dynamically masked (value-dependent masking is invisible statically), so
+// the static masked fraction is a lower bound that tracks the measured one.
+package staticvuln
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Symptom is the statically predicted outcome class of a bit flip, matching
+// the dynamic campaign's categories (inject.VMCategory).
+type Symptom int
+
+const (
+	SymMasked Symptom = iota
+	SymException
+	SymCFV
+	SymMem
+	SymRegister
+)
+
+func (s Symptom) String() string {
+	switch s {
+	case SymMasked:
+		return "masked"
+	case SymException:
+		return "exception"
+	case SymCFV:
+		return "cfv"
+	case SymMem:
+		return "mem"
+	case SymRegister:
+		return "register"
+	}
+	return fmt.Sprintf("Symptom(%d)", int(s))
+}
+
+// Symptom classes indexed inside liveness facts. Masked is the absence of
+// all of them and needs no slot.
+const (
+	clsException = iota
+	clsCFV
+	clsMem
+	clsRegister
+	numClasses
+)
+
+// Options configures an analysis.
+type Options struct {
+	// Weights supplies per-static-instruction execution counts (e.g. from
+	// Profile). When nil, a fault-free profile run is performed; when that
+	// is not possible the loop-depth estimate is used.
+	Weights []uint64
+
+	// ProfileSkip/ProfileCount shape the implicit profile run. Zero values
+	// select defaults matching the injection campaign's warm-up.
+	ProfileSkip  uint64
+	ProfileCount uint64
+
+	// SlotArea is the per-segment byte offset below which constant-address
+	// control slots are assumed not to alias indexed accesses (the kernels'
+	// control-block convention). Zero selects the default of 64.
+	SlotArea uint64
+
+	// MaxRounds bounds the backward fixpoint. Zero selects 256.
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlotArea == 0 {
+		o.SlotArea = 64
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 256
+	}
+	if o.ProfileSkip == 0 {
+		o.ProfileSkip = 5000
+	}
+	if o.ProfileCount == 0 {
+		o.ProfileCount = 30000
+	}
+	return o
+}
+
+// Analyze runs the full static vulnerability analysis on a program.
+func Analyze(p *workload.Program, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+
+	g, err := buildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	lay := newLayout(p, opt.SlotArea)
+	ab := runAbsint(g, lay)
+
+	lv := newLiveness(g, ab, opt)
+	if err := lv.solve(); err != nil {
+		return nil, err
+	}
+
+	weights := opt.Weights
+	if weights == nil {
+		weights, err = Profile(p, opt.ProfileSkip, opt.ProfileCount)
+		if err != nil {
+			weights = staticWeights(g, lv.reach)
+		}
+	}
+	if len(weights) != len(g.insts) {
+		return nil, fmt.Errorf("staticvuln: weight vector has %d entries for %d instructions",
+			len(weights), len(g.insts))
+	}
+
+	rep := &Report{Program: p.Name, Insts: make([]InstReport, len(g.insts))}
+	for i := range g.insts {
+		inst := g.insts[i]
+		r := InstReport{Index: i, PC: g.pc(i), Inst: inst, Weight: weights[i]}
+		if d, ok := inst.Dest(); ok {
+			r.Dest = d
+			r.HasDest = true
+			f := &lv.dest[i]
+			r.Exception = f.mask[clsException]
+			r.CFV = f.mask[clsCFV]
+			r.Mem = f.mask[clsMem]
+			r.Register = f.mask[clsRegister]
+			r.Latency = f.minDist()
+		}
+		rep.Insts[i] = r
+	}
+	return rep, nil
+}

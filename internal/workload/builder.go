@@ -89,6 +89,20 @@ func (p *Program) NewMemory() (*mem.Memory, error) {
 // NumInsts returns the static code size in instructions.
 func (p *Program) NumInsts() int { return len(p.Code) }
 
+// SegmentFor returns the index into Segments of the data segment containing
+// addr, or -1 when addr falls outside every initialised segment. Segments are
+// page-aligned with unmapped guard pages between them, so an address resolves
+// to at most one segment.
+func (p *Program) SegmentFor(addr uint64) int {
+	for i := range p.Segments {
+		seg := &p.Segments[i]
+		if addr >= seg.Base && addr < seg.Base+uint64(len(seg.Data)) {
+			return i
+		}
+	}
+	return -1
+}
+
 type branchFixup struct {
 	instIndex int
 	label     string

@@ -1,0 +1,228 @@
+// Command statecheck enforces the fault-injection contract of the pipeline
+// model: every word of simulated hardware state must be enumerable by the
+// injector. Concretely, for each struct in the target packages that has a
+// register(*StateSpace) method, every uint64 (or [N]uint64) field must be
+// passed by address to a Register call inside that method — otherwise the
+// field holds machine state that bit-flip campaigns can never reach, silently
+// shrinking the sampled state space.
+//
+// Fields that are genuinely simulator bookkeeping (not hardware latches) are
+// exempted with a trailing or preceding comment containing
+// "statecheck:ignore".
+//
+// Usage: statecheck [package-dir ...]   (default: ./internal/pipeline)
+//
+// Exits non-zero and prints one line per violation when unregistered state is
+// found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"./internal/pipeline"}
+	}
+	failed := false
+	for _, dir := range dirs {
+		problems, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statecheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkDir analyses one package directory and returns one message per
+// unregistered state field.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	type structInfo struct {
+		fields map[string]token.Position // state fields needing registration
+		order  []string
+	}
+	structs := make(map[string]*structInfo)
+	registered := make(map[string]map[string]bool) // type -> field set
+	hasRegister := make(map[string]bool)
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						info := &structInfo{fields: make(map[string]token.Position)}
+						for _, f := range st.Fields.List {
+							if !isStateWord(f.Type) || ignored(f) {
+								continue
+							}
+							for _, name := range f.Names {
+								info.fields[name.Name] = fset.Position(name.Pos())
+								info.order = append(info.order, name.Name)
+							}
+						}
+						structs[ts.Name.Name] = info
+					}
+				case *ast.FuncDecl:
+					if d.Name.Name != "register" || d.Recv == nil || len(d.Recv.List) == 0 {
+						continue
+					}
+					recvType, recvName := receiver(d.Recv.List[0])
+					if recvType == "" {
+						continue
+					}
+					hasRegister[recvType] = true
+					if registered[recvType] == nil {
+						registered[recvType] = make(map[string]bool)
+					}
+					collectRegistered(d.Body, recvName, registered[recvType])
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for typeName, info := range structs {
+		if !hasRegister[typeName] {
+			continue
+		}
+		for _, field := range info.order {
+			if registered[typeName][field] {
+				continue
+			}
+			pos := info.fields[field]
+			problems = append(problems, fmt.Sprintf(
+				"%s: %s.%s: state word not registered in StateSpace (add to register() or mark //statecheck:ignore)",
+				pos, typeName, field))
+		}
+	}
+	return problems, nil
+}
+
+// isStateWord reports whether a field type is uint64 or [N]uint64 — the two
+// shapes the StateSpace can hold.
+func isStateWord(expr ast.Expr) bool {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name == "uint64"
+	case *ast.ArrayType:
+		if t.Len == nil { // slices are never latch arrays
+			return false
+		}
+		id, ok := t.Elt.(*ast.Ident)
+		return ok && id.Name == "uint64"
+	}
+	return false
+}
+
+// ignored reports whether the field carries a statecheck:ignore directive in
+// its doc or trailing comment.
+func ignored(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "statecheck:ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// receiver extracts the receiver's type and binding name from a method
+// declaration ("func (q *fetchQueue) register(...)" -> "fetchQueue", "q").
+func receiver(field *ast.Field) (typeName, bindName string) {
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(field.Names) > 0 {
+		bindName = field.Names[0].Name
+	}
+	return id.Name, bindName
+}
+
+// collectRegistered walks a register method body and records every field of
+// the receiver whose address is taken inside a call to a method named
+// Register: s.Register(..., &recv.field, ...) or &recv.field[i].
+func collectRegistered(body *ast.BlockStmt, recvName string, out map[string]bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Register" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if f := fieldOf(un.X, recvName); f != "" {
+				out[f] = true
+			}
+		}
+		return true
+	})
+}
+
+// fieldOf resolves recv.field or recv.field[i] to the field name.
+func fieldOf(expr ast.Expr, recvName string) string {
+	if idx, ok := expr.(*ast.IndexExpr); ok {
+		expr = idx.X
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != recvName {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBadFixtureFlagged(t *testing.T) {
+	problems, err := checkDir("testdata/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("problems = %v, want exactly the tail field", problems)
+	}
+	if !strings.Contains(problems[0], "leaky.tail") {
+		t.Errorf("problem %q does not name leaky.tail", problems[0])
+	}
+	// The exempted and non-uint64 fields must not be flagged.
+	for _, p := range problems {
+		for _, clean := range []string{"cycles", "dirty", "head", "regs"} {
+			if strings.Contains(p, clean) {
+				t.Errorf("false positive on %s: %q", clean, p)
+			}
+		}
+	}
+}
+
+func TestGoodFixtureClean(t *testing.T) {
+	problems, err := checkDir("testdata/good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestPipelinePackageClean(t *testing.T) {
+	problems, err := checkDir("../../internal/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("pipeline package has unregistered state: %v", problems)
+	}
+}
+
+func TestMissingDir(t *testing.T) {
+	if _, err := checkDir("testdata/nonexistent"); err == nil {
+		t.Fatal("missing directory should error")
+	}
+}

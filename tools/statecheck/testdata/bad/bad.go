@@ -1,0 +1,23 @@
+// Package bad is a statecheck fixture: leaky holds an unregistered state
+// word, so the linter must flag it.
+package bad
+
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+type leaky struct {
+	regs [4]uint64
+	head uint64
+	tail uint64 // BUG (intentional): never registered below
+
+	cycles uint64 //statecheck:ignore — bookkeeping, exempted
+	dirty  bool   // not a state word, never checked
+}
+
+func (l *leaky) register(s *StateSpace) {
+	for i := range l.regs {
+		s.Register("leaky.regs", 0, 0, &l.regs[i], 64)
+	}
+	s.Register("leaky.head", 0, 0, &l.head, 2)
+}

@@ -1,0 +1,26 @@
+// Package good is a statecheck fixture: every state word is either
+// registered or explicitly exempted, so the linter must stay silent.
+package good
+
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+type clean struct {
+	regs   [4]uint64
+	head   uint64
+	cycles uint64 //statecheck:ignore — bookkeeping
+}
+
+func (c *clean) register(s *StateSpace) {
+	for i := range c.regs {
+		s.Register("clean.regs", 0, 0, &c.regs[i], 64)
+	}
+	s.Register("clean.head", 0, 0, &c.head, 2)
+}
+
+// unregulated has no register method at all: it models no injectable
+// hardware, so statecheck does not police it.
+type unregulated struct {
+	scratch uint64
+}
