@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet staticcheck statecheck bench clean
+.PHONY: all build test race lint vet staticcheck restorelint fuzz bench clean
 
 all: build test lint
 
@@ -17,10 +17,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint = vet + staticcheck (when installed) + the state-space registration
-# linter. staticcheck is optional locally — CI installs it — so the target
-# degrades gracefully on machines without it.
-lint: vet staticcheck statecheck
+# lint = vet + staticcheck (when installed) + restorelint. staticcheck is
+# optional locally — CI installs it — so the target degrades gracefully on
+# machines without it.
+lint: vet staticcheck restorelint
 
 vet:
 	$(GO) vet ./...
@@ -32,10 +32,18 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-# statecheck verifies that every uint64 state word of the pipeline model is
-# registered in the injectable StateSpace (tools/statecheck).
-statecheck:
-	$(GO) run ./tools/statecheck
+# restorelint is the repo's own multichecker (tools/restorelint): simulator
+# determinism, isa.Op switch exhaustiveness, StateSpace mutation ownership,
+# bit-width hygiene, and state-registration completeness. It subsumes the
+# former tools/statecheck.
+restorelint:
+	$(GO) run ./tools/restorelint
+
+# Short fuzz passes over the assembler and decoder (regression corpus plus
+# 10s of new inputs each).
+fuzz:
+	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
+	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenTrace locks down the full restore-trace output — commit trace,
+// stop banner, and statistics block — for a small fixed program. The trace
+// is a deterministic function of the program, so any diff is either a
+// deliberate format change (rerun with -update) or a simulator regression.
+func TestGoldenTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "countdown.s")
+	src := `
+		.imm r1 6
+		.imm r2 0
+	loop:
+		addq r2, r1, r2
+		subq r1, #1, r1
+		bgt  r1, loop
+		halt
+	`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "30", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "countdown.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,13 +32,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "restore-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("restore-trace", flag.ContinueOnError)
 	var (
 		n       = fs.Uint64("n", 50, "instructions to trace")
@@ -81,10 +82,10 @@ func run(args []string) error {
 			return err
 		}
 		pipe.CorruptArchReg(reg, bit)
-		fmt.Printf("injected: bit %d of %s flipped\n", bit, reg)
+		fmt.Fprintf(stdout, "injected: bit %d of %s flipped\n", bit, reg)
 	}
 
-	tw := trace.NewWriter(os.Stdout, trace.Options{
+	tw := trace.NewWriter(stdout, trace.Options{
 		MaxInstructions: *n,
 		ShowStores:      true,
 		ShowBranches:    true,
@@ -92,7 +93,7 @@ func run(args []string) error {
 	})
 	if !*quiet {
 		pipe.CommitHook = tw.Commit
-		fmt.Printf("%10s  %-12s  %-24s\n", "index", "pc", "instruction")
+		fmt.Fprintf(stdout, "%10s  %-12s  %-24s\n", "index", "pc", "instruction")
 	}
 	for !tw.Done() && pipe.Status() == pipeline.StatusRunning {
 		pipe.Cycle()
@@ -105,15 +106,15 @@ func run(args []string) error {
 	}
 	if pipe.Status() != pipeline.StatusRunning {
 		kind, pc, addr := pipe.Exception()
-		fmt.Printf("\npipeline stopped: %v", pipe.Status())
+		fmt.Fprintf(stdout, "\npipeline stopped: %v", pipe.Status())
 		if pipe.Status() == pipeline.StatusExcepted {
-			fmt.Printf(" (%v at pc=%#x addr=%#x)", kind, pc, addr)
+			fmt.Fprintf(stdout, " (%v at pc=%#x addr=%#x)", kind, pc, addr)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Println()
-	return trace.Summary(os.Stdout, pipe.Stats())
+	fmt.Fprintln(stdout)
+	return trace.Summary(stdout, pipe.Stats())
 }
 
 func loadProgram(name string, seed int64, scale float64) (*workload.Program, error) {

@@ -1,16 +1,17 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunBenchmarkTrace(t *testing.T) {
-	if err := run([]string{"-n", "10", "gzip"}); err != nil {
+	if err := run([]string{"-n", "10", "gzip"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-n", "10", "-skip", "500", "-stats-only", "mcf"}); err != nil {
+	if err := run([]string{"-n", "10", "-skip", "500", "-stats-only", "mcf"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,29 +29,29 @@ func TestRunAsmFileTrace(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-n", "20", path}); err != nil {
+	if err := run([]string{"-n", "20", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCorruptFlag(t *testing.T) {
-	if err := run([]string{"-n", "5", "-skip", "2000", "-corrupt", "r9:3", "gzip"}); err != nil {
+	if err := run([]string{"-n", "5", "-skip", "2000", "-corrupt", "r9:3", "gzip"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run([]string{}, io.Discard); err == nil {
 		t.Error("missing program accepted")
 	}
-	if err := run([]string{"nosuchbench"}); err == nil {
+	if err := run([]string{"nosuchbench"}, io.Discard); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run([]string{"/does/not/exist.s"}); err == nil {
+	if err := run([]string{"/does/not/exist.s"}, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 	for _, bad := range []string{"r9", "x9:3", "r99:3", "r9:77"} {
-		if err := run([]string{"-corrupt", bad, "gzip"}); err == nil {
+		if err := run([]string{"-corrupt", bad, "gzip"}, io.Discard); err == nil {
 			t.Errorf("bad corrupt spec %q accepted", bad)
 		}
 	}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// runFingerprint executes one benchmark from a cold pipeline and returns the
+// quantities every campaign comparison rests on: elapsed cycles, retired
+// instructions, the full state-space hash, and the architectural registers.
+func runFingerprint(t *testing.T, bench workload.Benchmark, cycles uint64) (uint64, uint64, uint64, [32]uint64) {
+	t.Helper()
+	prog, err := workload.Generate(bench, workload.Config{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatalf("%s: generate: %v", bench, err)
+	}
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatalf("%s: memory: %v", bench, err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatalf("%s: pipeline: %v", bench, err)
+	}
+	pipe.RunCycles(cycles)
+	return pipe.Cycles(), pipe.Retired(), pipe.State().Hash(), pipe.ArchRegs()
+}
+
+// TestBenchmarksDeterministic runs every benchmark twice in-process and
+// requires bit-identical outcomes. This is the dynamic counterpart of the
+// restorelint determinism analyzer: golden-run comparison, checkpoint
+// rollback, and campaign statistics are all meaningless if two fault-free
+// runs of the same seed can diverge.
+func TestBenchmarksDeterministic(t *testing.T) {
+	const cycles = 20_000
+	for _, bench := range workload.Benchmarks() {
+		bench := bench
+		t.Run(string(bench), func(t *testing.T) {
+			t.Parallel()
+			c1, r1, h1, regs1 := runFingerprint(t, bench, cycles)
+			c2, r2, h2, regs2 := runFingerprint(t, bench, cycles)
+			if c1 != c2 {
+				t.Errorf("cycle counts diverged: %d vs %d", c1, c2)
+			}
+			if r1 != r2 {
+				t.Errorf("retired counts diverged: %d vs %d", r1, r2)
+			}
+			if h1 != h2 {
+				t.Errorf("state hashes diverged: %#x vs %#x", h1, h2)
+			}
+			if regs1 != regs2 {
+				t.Errorf("architectural registers diverged:\n  run1: %v\n  run2: %v", regs1, regs2)
+			}
+			if r1 == 0 {
+				t.Error("benchmark retired no instructions; fingerprint is vacuous")
+			}
+		})
+	}
+}

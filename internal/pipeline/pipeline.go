@@ -45,12 +45,12 @@ type Pipeline struct {
 	dtlb   *cache.Cache
 
 	// Simulator bookkeeping (deterministic, not hardware state).
-	cycle           uint64
+	cycle           uint64 //restorelint:ignore stateregister -- cycle counter, not a latch
 	status          Status
 	excKind         arch.ExceptionKind
-	excPC           uint64
-	excAddr         uint64
-	fetchStallUntil uint64
+	excPC           uint64 //restorelint:ignore stateregister -- exception report, written at halt
+	excAddr         uint64 //restorelint:ignore stateregister -- exception report, written at halt
+	fetchStallUntil uint64 //restorelint:ignore stateregister -- timing bookkeeping, not a latch
 	fetchFaulted    bool
 	stats           Stats
 
@@ -168,8 +168,7 @@ func (p *Pipeline) initArchState(regs [32]uint64, pc uint64) {
 // ReStore rolls back by resetting the machine to checkpointed registers and
 // a checkpointed PC after memory has been unwound.
 func (p *Pipeline) Reset(regs [32]uint64, pc uint64) {
-	var zero freeList
-	p.free = zero
+	p.free.reset()
 	p.initArchState(regs, pc)
 }
 
@@ -225,8 +224,7 @@ func (p *Pipeline) ArchRegs() [32]uint64 {
 // Used by examples and directed tests; statistical campaigns sample the
 // whole state space instead.
 func (p *Pipeline) CorruptArchReg(r isa.Reg, bit uint) {
-	phys := p.archRAT.get(uint64(r))
-	p.prf.val[phys%PhysRegs] ^= 1 << (bit % 64)
+	p.prf.flipBit(p.archRAT.get(uint64(r)), bit)
 }
 
 // CommitPC returns the PC of the next instruction to retire (the precise

@@ -95,6 +95,12 @@ const (
 // reorderBuffer is the 64-entry ROB. The aux word packs the store-queue
 // index (or, for loads, the STQ tail snapshot used for disambiguation) in
 // its low byte and the predicted target above it.
+//
+// The writer list below is the audited ownership matrix of the pipeline
+// stages entitled to drive ROB latches; restorelint rejects writes from
+// anywhere else.
+//
+//restorelint:writers doRename dispatchOne doWriteback retire commitStore executeALU executeLoad executeStore executeBranch raiseAt squashToCount
 type reorderBuffer struct {
 	ctl      [ROBSize]uint64 // packed control word (decode latches)
 	pc       [ROBSize]uint64
@@ -159,6 +165,8 @@ const (
 // scheduler is the 32-entry out-of-order issue window. Source operands are
 // physical-register tags; readiness is checked against the register file's
 // ready bits every cycle (the wakeup CAM).
+//
+//restorelint:writers fillScheduler execute executeALU executeLoad executeStore executeBranch scheduleWriteback squashToCount
 type scheduler struct {
 	flags  [SchedSize]uint64
 	robIdx [SchedSize]uint64
@@ -201,6 +209,8 @@ const (
 // storeQueue holds in-flight stores in program order between rename and
 // commit; committed stores drain to memory through the (journalled)
 // checkpoint domain.
+//
+//restorelint:writers dispatchOne executeStore commitStore squashToCount
 type storeQueue struct {
 	addr   [STQSize]uint64
 	data   [STQSize]uint64
@@ -251,6 +261,8 @@ const (
 // job under memory-dependence speculation is violation detection: a
 // resolving store searches it for younger loads that already read the
 // location.
+//
+//restorelint:writers dispatchOne doCommit executeLoad squashToCount
 type loadQueue struct {
 	addr   [LDQSize]uint64
 	robIdx [LDQSize]uint64
@@ -321,6 +333,12 @@ func (f *regFile) setReady(tag uint64, rdy bool) {
 func (f *regFile) read(tag uint64) uint64 { return f.val[tag%PhysRegs] }
 func (f *regFile) write(tag, v uint64)    { f.val[tag%PhysRegs] = v }
 
+// flipBit inverts one bit of a physical register — the fault-model entry
+// point for directed corruption.
+func (f *regFile) flipBit(tag uint64, bit uint) {
+	f.val[tag%PhysRegs] ^= 1 << (bit % 64)
+}
+
 // aliasTable maps architectural to physical registers (the Spec/Arch RATs
 // of Figure 3, SRAM arrays).
 type aliasTable struct {
@@ -339,6 +357,8 @@ func (t *aliasTable) set(r, phys uint64)  { t.m[r%32] = phys % PhysRegs }
 // freeList is the physical-register free pool, stored as a bit vector
 // (Figure 3's Spec/Arch free lists collapse into one recomputable pool in
 // this model; recovery rebuilds it from the surviving ROB contents).
+//
+//restorelint:writers squashToCount
 type freeList struct {
 	bits [PhysRegs / 64]uint64
 }
@@ -348,6 +368,8 @@ func (f *freeList) register(s *StateSpace) {
 		s.Register("freelist", KindSRAM, ClassControl, &f.bits[i], 64)
 	}
 }
+
+func (f *freeList) reset() { *f = freeList{} }
 
 func (f *freeList) alloc() (uint64, bool) {
 	for w := range f.bits {
@@ -375,13 +397,14 @@ func (f *freeList) free(tag uint64) {
 // destination tags are real latches and injectable.
 const execSlots = 16
 
+//restorelint:writers scheduleWriteback
 type execWindow struct {
 	val [execSlots]uint64
 	tag [execSlots]uint64 // physical destination; bit 7 set = no destination
 	rob [execSlots]uint64
 
 	busy   [execSlots]bool   // not injectable: scheduling metadata
-	doneAt [execSlots]uint64 //statecheck:ignore — completion timing, scheduling metadata
+	doneAt [execSlots]uint64 //restorelint:ignore stateregister — completion timing, scheduling metadata
 }
 
 const execNoDest = 1 << 7

@@ -336,6 +336,9 @@ func kbEval(op isa.Op, a, b kbits) kbits {
 		return kbits{zero: ^uint64(1)} // result is 0 or 1
 	case isa.OpADDL, isa.OpSUBL:
 		return kbTop // sign extension spoils width reasoning
+	default:
+		// Branches, memory ops, and remaining operates have no known-bits
+		// transfer worth modelling.
 	}
 	return kbTop
 }
@@ -480,6 +483,8 @@ func (ai *absinterp) xfer(st *astate, idx int, record bool) {
 		case isa.OpCMOVEQ, isa.OpCMOVNE:
 			set(inst.Rc, lay.joinAV(ai.get(st, inst.Rc), ai.get(st, inst.Rb)))
 			return
+		default:
+			// Every other ALU/Mul opcode takes the generic operate path below.
 		}
 		a := ai.get(st, inst.Ra)
 		b := constAV(uint64(inst.Lit))

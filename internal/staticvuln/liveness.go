@@ -570,6 +570,9 @@ func condMask(op isa.Op, cond kbits) uint64 {
 	switch op {
 	case isa.OpBLT, isa.OpBGE:
 		return 1 << 63
+	default:
+		// Zero-involved tests (BEQ/BNE/BLE/BGT/BLBC/BLBS) and everything
+		// else: any bit the value can hold may flip the direction.
 	}
 	return allBits &^ cond.zero
 }
@@ -668,6 +671,8 @@ func srcDemand(inst isa.Inst, isRa bool, m uint64, ka, kb kbits) uint64 {
 		return 0
 	case isa.OpCMOVEQ, isa.OpCMOVNE: // value operand moves through
 		return m
+	default:
+		// Remaining opcodes are treated as bit-position-preserving.
 	}
 	return m
 }

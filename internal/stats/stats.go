@@ -46,11 +46,13 @@ func NewDistribution(categories []string) Distribution {
 // Get returns the fraction for a category (0 if absent).
 func (d Distribution) Get(cat string) float64 { return d.Fraction[cat] }
 
-// Total returns the sum of all fractions.
+// Total returns the sum of all fractions. Summation follows the declared
+// category order so the result is bit-identical across runs; float addition
+// over map order is not.
 func (d Distribution) Total() float64 {
 	sum := 0.0
-	for _, v := range d.Fraction {
-		sum += v
+	for _, cat := range d.Categories {
+		sum += d.Fraction[cat]
 	}
 	return sum
 }

@@ -1,0 +1,31 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/tools/restorelint/lint"
+	"repro/tools/restorelint/lint/linttest"
+)
+
+// Each analyzer is checked against a bad fixture (every diagnostic marked
+// with a // want comment) and a good fixture (analyzer must stay silent,
+// including through the //restorelint:ignore escape hatch).
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		dir      string
+	}{
+		{Determinism, "determinism"},
+		{OpcodeSwitch, "opcodeswitch"},
+		{StateMut, "statemut"},
+		{BitWidth, "bitwidth"},
+		{StateRegister, "stateregister"},
+	}
+	for _, tc := range cases {
+		for _, kind := range []string{"good", "bad"} {
+			t.Run(tc.dir+"/"+kind, func(t *testing.T) {
+				linttest.Run(t, tc.analyzer, "testdata/"+tc.dir+"/"+kind)
+			})
+		}
+	}
+}

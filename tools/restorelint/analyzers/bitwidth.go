@@ -1,0 +1,207 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/restorelint/lint"
+)
+
+// BitWidth flags bit manipulation that silently loses or invents bits. The
+// simulator models 64-bit architectural words and narrower fields (a 48-bit
+// PC, 16-bit watchdog counters, 8-bit opcode bytes); the classic mistakes
+// are shifting a value by at least its own width (always zero in Go, never
+// a rotate), masking a widened value with bits the source type cannot carry
+// (the mask is dead weight or, worse, hides a truncation the author thought
+// happened), sign-extending a value that was never signed, and registering
+// a state element with an impossible bit count.
+var BitWidth = &lint.Analyzer{
+	Name: "bitwidth",
+	Doc:  "flags over-wide shifts, masks exceeding the source width, bogus sign extension, and bad Register bit counts",
+	Run:  runBitWidth,
+}
+
+func runBitWidth(pass *lint.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.SHL, token.SHR:
+					checkShiftWidth(pass, n)
+				case token.AND:
+					checkMaskWidth(pass, n)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.SHL_ASSIGN || n.Tok == token.SHR_ASSIGN {
+					checkShiftAssign(pass, n)
+				}
+			case *ast.CallExpr:
+				checkSignExtension(pass, n)
+				checkRegisterBits(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkShiftWidth flags x << c and x >> c where c is a constant at least as
+// wide as x's type. Constant-folded expressions (1 << 48) are exempt: the
+// spec evaluates those at arbitrary precision.
+func checkShiftWidth(pass *lint.Pass, be *ast.BinaryExpr) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[be]; ok && tv.Value != nil {
+		return // whole expression is constant: arbitrary-precision arithmetic
+	}
+	reportOverShift(pass, be.Pos(), be.X, be.Y, be.Op)
+}
+
+func checkShiftAssign(pass *lint.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	op := token.SHL
+	if as.Tok == token.SHR_ASSIGN {
+		op = token.SHR
+	}
+	reportOverShift(pass, as.Pos(), as.Lhs[0], as.Rhs[0], op)
+}
+
+func reportOverShift(pass *lint.Pass, pos token.Pos, x, y ast.Expr, op token.Token) {
+	info := pass.Pkg.Info
+	xtv, ok := info.Types[x]
+	if !ok || xtv.Value != nil {
+		return // constant shifted operand adapts to context
+	}
+	width, _, ok := intWidth(xtv.Type)
+	if !ok {
+		return
+	}
+	count, ok := constUint(info, y)
+	if !ok || count < uint64(width) {
+		return
+	}
+	verb := "<<"
+	if op == token.SHR {
+		verb = ">>"
+	}
+	pass.Reportf(pos,
+		"shift %s %d of a %d-bit value is always zero (Go shifts do not wrap); mask the shift count or widen the operand",
+		verb, count, width)
+}
+
+// checkMaskWidth flags conv(x) & mask where the mask has bits set above the
+// width of x's pre-conversion type: uint64(u8) & 0x100 can never be nonzero,
+// and uint64(u8) & 0x1ff pretends to select bits the value cannot have.
+func checkMaskWidth(pass *lint.Pass, be *ast.BinaryExpr) {
+	info := pass.Pkg.Info
+	check := func(convSide, maskSide ast.Expr) {
+		srcWidth, ok := conversionSourceWidth(info, convSide)
+		if !ok || srcWidth >= 64 {
+			return
+		}
+		mask, ok := constUint(info, maskSide)
+		if !ok {
+			return
+		}
+		if mask>>uint(srcWidth) != 0 {
+			pass.Reportf(be.Pos(),
+				"mask %#x has bits above bit %d, but the masked value was widened from a %d-bit type; the high mask bits can never match",
+				mask, srcWidth-1, srcWidth)
+		}
+	}
+	check(be.X, be.Y)
+	check(be.Y, be.X)
+}
+
+// conversionSourceWidth recognises T(x) where T and x are integer types and
+// returns the width of x's type, i.e. the number of meaningful bits the
+// converted value can carry (only for widening unsigned sources, where zero
+// extension guarantees the high bits are clear).
+func conversionSourceWidth(info *types.Info, expr ast.Expr) (int, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return 0, false
+	}
+	dstWidth, _, ok := intWidth(tv.Type)
+	if !ok {
+		return 0, false
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Value != nil {
+		return 0, false
+	}
+	srcWidth, srcUnsigned, ok := intWidth(argTV.Type)
+	if !ok || !srcUnsigned || srcWidth >= dstWidth {
+		return 0, false
+	}
+	return srcWidth, true
+}
+
+// checkSignExtension flags uint64(int32(x)) and friends where x is an
+// unsigned value of the inner type's width: the int32 conversion invents a
+// sign bit the data never had, and the outer widening smears it across the
+// top 32 bits. Alpha's LDL/sign-extension paths do this deliberately on
+// *signed* data; doing it to unsigned data is a latent corruption.
+func checkSignExtension(pass *lint.Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if len(call.Args) != 1 {
+		return
+	}
+	outerTV, ok := info.Types[call.Fun]
+	if !ok || !outerTV.IsType() {
+		return
+	}
+	outerWidth, outerUnsigned, ok := intWidth(outerTV.Type)
+	if !ok || !outerUnsigned {
+		return
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok || len(inner.Args) != 1 {
+		return
+	}
+	innerTV, ok := info.Types[inner.Fun]
+	if !ok || !innerTV.IsType() {
+		return
+	}
+	innerWidth, innerUnsigned, ok := intWidth(innerTV.Type)
+	if !ok || innerUnsigned || innerWidth >= outerWidth {
+		return
+	}
+	argTV, ok := info.Types[inner.Args[0]]
+	if !ok || argTV.Value != nil {
+		return
+	}
+	argWidth, argUnsigned, ok := intWidth(argTV.Type)
+	if !ok || !argUnsigned || argWidth != innerWidth {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"conversion chain sign-extends an unsigned %d-bit value through %s: bit %d of the input becomes a sign bit and fills the upper bits; drop the signed intermediate or mask explicitly",
+		argWidth, innerTV.Type.String(), argWidth-1)
+}
+
+// checkRegisterBits validates the bit-count argument of StateSpace.Register
+// calls: Register(name, kind, class, word, bits) with bits outside [1,64]
+// either truncates the element to nothing or promises bits the uint64
+// backing word does not have.
+func checkRegisterBits(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Register" || len(call.Args) != 5 {
+		return
+	}
+	bits, ok := constUint(pass.Pkg.Info, call.Args[4])
+	if !ok {
+		return
+	}
+	if bits == 0 || bits > 64 {
+		pass.Reportf(call.Args[4].Pos(),
+			"Register bit count %d is outside [1,64]; a state element must occupy between 1 and 64 bits of its backing word",
+			bits)
+	}
+}

@@ -1,0 +1,165 @@
+// Package analyzers holds the restorelint checks: determinism,
+// opcodeswitch, statemut, bitwidth, and stateregister. Each is a
+// lint.Analyzer with analysistest-style fixtures under testdata/.
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/tools/restorelint/lint"
+)
+
+// pkgPathOf resolves expr to an imported package path when expr is a bare
+// package qualifier ("rand" in rand.Intn), else "".
+func pkgPathOf(info *types.Info, expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// intWidth returns the bit width and signedness of an integer type (int,
+// uint, and uintptr count as 64: every supported target is 64-bit).
+func intWidth(t types.Type) (width int, unsigned, ok bool) {
+	b, isBasic := t.Underlying().(*types.Basic)
+	if !isBasic {
+		return 0, false, false
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return 8, false, true
+	case types.Int16:
+		return 16, false, true
+	case types.Int32:
+		return 32, false, true
+	case types.Int64, types.Int:
+		return 64, false, true
+	case types.Uint8:
+		return 8, true, true
+	case types.Uint16:
+		return 16, true, true
+	case types.Uint32:
+		return 32, true, true
+	case types.Uint64, types.Uint, types.Uintptr:
+		return 64, true, true
+	}
+	return 0, false, false
+}
+
+// constUint evaluates expr to a non-negative constant if it is one.
+func constUint(info *types.Info, expr ast.Expr) (uint64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	u, exact := constant.Uint64Val(v)
+	return u, exact
+}
+
+// fieldVarOf unwraps index and paren chains around a selector and resolves
+// the struct field it names: p.rob.flags[i] -> reorderBuffer.flags.
+func fieldVarOf(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// stateIndex is the shared registration model: every struct field whose
+// address is passed to a method named Register, mapped back to the named
+// struct type that declares it.
+type stateIndex struct {
+	registered map[*types.Var]bool   // fields passed by address to Register
+	fieldOwner map[*types.Var]string // struct field -> declaring type name
+	hasState   map[string]bool       // type name -> has >=1 registered field
+}
+
+// buildStateIndex scans the package for Register(&x.field, ...) calls and
+// for the struct declarations that own the fields.
+func buildStateIndex(pkg *lint.Package) *stateIndex {
+	idx := &stateIndex{
+		registered: make(map[*types.Var]bool),
+		fieldOwner: make(map[*types.Var]string),
+		hasState:   make(map[string]bool),
+	}
+
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			idx.fieldOwner[st.Field(i)] = name
+		}
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Register" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := fieldVarOf(pkg.Info, un.X); v != nil {
+					idx.registered[v] = true
+					if owner, ok := idx.fieldOwner[v]; ok {
+						idx.hasState[owner] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// recvTypeName extracts the receiver's named type from a method declaration.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

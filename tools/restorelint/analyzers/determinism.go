@@ -1,0 +1,187 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/restorelint/lint"
+)
+
+// Determinism flags constructs that make repeated simulator runs diverge:
+// wall-clock reads, the process-global math/rand generator, and map
+// iteration whose order leaks into ordered output or floating-point
+// accumulation. The fault-injection methodology (golden-run comparison,
+// state-hash equality, byte-identical reports) is only sound when the whole
+// simulator is a pure function of its seeds.
+var Determinism = &lint.Analyzer{
+	Name: "determinism",
+	Doc:  "flags time.Now, the global math/rand RNG, and order-sensitive map iteration",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *lint.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkNondeterministicCall(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch pkgPathOf(pass.Pkg.Info, sel.X) {
+	case "time":
+		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s makes simulation state depend on the wall clock; derive timing from cycle counts",
+				sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(sel.Sel.Name, "New") {
+			pass.Reportf(call.Pos(),
+				"rand.%s uses the process-global generator, which is not reproducible across runs; use rand.New(rand.NewSource(seed))",
+				sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRange inspects one range-over-map loop for order-sensitive sinks.
+func checkMapRange(pass *lint.Pass, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	fn := pass.Pkg.EnclosingFunc(rs.Pos())
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fn, rs, n)
+		case *ast.CallExpr:
+			if sinkName, ok := orderedOutputCall(info, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside map iteration emits output in nondeterministic map order; sort the keys first",
+					sinkName)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *lint.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	if len(as.Lhs) != 1 {
+		return
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.ObjectOf(lhs)
+	if obj == nil || insideNode(obj.Pos(), rs) {
+		return // loop-local accumulation is invisible outside
+	}
+
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation into %s over map iteration is order-dependent (addition is not associative); iterate sorted keys",
+				lhs.Name)
+		}
+	case token.ASSIGN:
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+			if !sortedAfter(info, fn, rs, obj) {
+				pass.Reportf(as.Pos(),
+					"append to %s inside map iteration produces nondeterministic element order; sort the keys first (or sort %s afterwards)",
+					lhs.Name, lhs.Name)
+			}
+		}
+	}
+}
+
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderedOutputCall recognises calls that emit ordered bytes: fmt printers
+// and Write*-family methods (strings.Builder, bytes.Buffer, io.Writer).
+func orderedOutputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkgPathOf(info, sel.X) == "fmt" {
+		if strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint") {
+			return "fmt." + sel.Sel.Name, true
+		}
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// Only count receivers that are actually writers, not e.g. a map
+		// store helper: a method value on a non-package receiver.
+		if pkgPathOf(info, sel.X) == "" {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort* call
+// after the range loop in the same function — the "collect then sort"
+// idiom, which restores determinism.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil || fn.Body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgPathOf(info, sel.X)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

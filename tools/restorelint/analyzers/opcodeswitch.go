@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/restorelint/lint"
+)
+
+// OpcodeSwitch enforces that every switch over isa.Op either covers all
+// defined opcodes or carries an explicit default clause. Without it, adding
+// an instruction to internal/isa can half-land: the decoder knows the new
+// opcode but an execution, liveness, or assembly switch silently falls
+// through and mis-handles it. A default clause is the author's explicit
+// statement that fall-through is intended for every unlisted opcode.
+var OpcodeSwitch = &lint.Analyzer{
+	Name: "opcodeswitch",
+	Doc:  "flags non-exhaustive switches over isa.Op that lack a default case",
+	Run:  runOpcodeSwitch,
+}
+
+func runOpcodeSwitch(pass *lint.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				checkOpSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+}
+
+func checkOpSwitch(pass *lint.Pass, sw *ast.SwitchStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Op" || obj.Pkg() == nil || obj.Pkg().Name() != "isa" {
+		return
+	}
+
+	covered := make(map[uint64]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: partial coverage is acknowledged
+		}
+		for _, e := range cc.List {
+			etv, ok := info.Types[e]
+			if !ok || etv.Value == nil {
+				// A non-constant case expression defeats static
+				// exhaustiveness analysis; treat it as a wildcard.
+				return
+			}
+			if v, exact := constant.Uint64Val(constant.ToInt(etv.Value)); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), tv.Type) {
+			continue
+		}
+		v, exact := constant.Uint64Val(constant.ToInt(c.Val()))
+		if exact && !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	shown := missing
+	if len(shown) > 6 {
+		shown = append(append([]string(nil), shown[:6]...), "...")
+	}
+	pass.Reportf(sw.Pos(),
+		"switch over isa.Op misses %d opcode(s) (%s) and has no default case; cover them or add an explicit default",
+		len(missing), strings.Join(shown, ", "))
+}

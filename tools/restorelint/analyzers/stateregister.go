@@ -1,0 +1,130 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/restorelint/lint"
+)
+
+// StateRegister is the migrated statecheck gate: every uint64 (or [N]uint64)
+// field of a stateful struct must be registered with the StateSpace, or the
+// fault-injection campaign silently skips it and the measured AVF is wrong.
+//
+// A struct is stateful when it participates in registration at all — it has
+// a register method taking a *StateSpace, or any of its fields is passed by
+// address to a Register call anywhere in the package (this second clause is
+// what the old standalone statecheck missed: Pipeline registers its own
+// scalars from registerState, not from a method named register).
+//
+// Bookkeeping words that are deliberately not fault-injection targets carry
+// a `//restorelint:ignore stateregister -- why` comment on the field.
+var StateRegister = &lint.Analyzer{
+	Name: "stateregister",
+	Doc:  "flags uint64 state-struct fields that are never registered with the StateSpace",
+	Run:  runStateRegister,
+}
+
+func runStateRegister(pass *lint.Pass) {
+	idx := buildStateIndex(pass.Pkg)
+	stateful := statefulTypes(pass.Pkg, idx)
+	if len(stateful) == 0 {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !stateful[ts.Name.Name] {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStructFields(pass, idx, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func checkStructFields(pass *lint.Pass, idx *stateIndex, typeName string, st *ast.StructType) {
+	info := pass.Pkg.Info
+	for _, field := range st.Fields.List {
+		if !isWordField(info, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok || idx.registered[v] {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"field %s.%s is %s but is never registered with the StateSpace; fault injection cannot reach it (register it, or annotate //restorelint:ignore stateregister with a reason)",
+				typeName, name.Name, types.ExprString(field.Type))
+		}
+	}
+}
+
+// isWordField reports whether the field type is uint64 or [N]uint64 — the
+// shapes StateSpace.Register accepts a backing word from.
+func isWordField(info *types.Info, expr ast.Expr) bool {
+	if arr, ok := expr.(*ast.ArrayType); ok && arr.Len != nil {
+		expr = arr.Elt
+	}
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// statefulTypes decides which structs the registration obligation applies
+// to: those with a register(*StateSpace) method, plus those with at least
+// one field already registered somewhere in the package.
+func statefulTypes(pkg *lint.Package, idx *stateIndex) map[string]bool {
+	out := make(map[string]bool)
+	for name, has := range idx.hasState {
+		if has {
+			out[name] = true
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "register" {
+				continue
+			}
+			if !hasStateSpaceParam(pkg.Info, fd) {
+				continue
+			}
+			if name := recvTypeName(fd); name != "" {
+				out[name] = true
+			}
+		}
+	}
+	return out
+}
+
+func hasStateSpaceParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, p := range fd.Type.Params.List {
+		tv, ok := info.Types[p.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "StateSpace" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the bitwidth diagnostics.
+package fixture
+
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+func overShift(x uint32) uint32 {
+	return x << 32 // want "shift << 32 of a 32-bit value is always zero"
+}
+
+func overShiftRight(x uint16) uint16 {
+	return x >> 16 // want "shift >> 16 of a 16-bit value is always zero"
+}
+
+func overShiftAssign(x uint8) uint8 {
+	x <<= 8 // want "shift << 8 of a 8-bit value is always zero"
+	return x
+}
+
+func deadMask(b uint8) uint64 {
+	return uint64(b) & 0x100 // want "mask 0x100 has bits above bit 7"
+}
+
+func wideMask(b uint16) uint64 {
+	return uint64(b) & 0x1FFFF // want "mask 0x1ffff has bits above bit 15"
+}
+
+func bogusSignExtend(x uint32) uint64 {
+	return uint64(int32(x)) // want "conversion chain sign-extends an unsigned 32-bit value"
+}
+
+func badRegister(s *StateSpace, w *uint64) {
+	s.Register("w", 0, 0, w, 65) // want "Register bit count 65 is outside \[1,64\]"
+	s.Register("w", 0, 0, w, 0)  // want "Register bit count 0 is outside \[1,64\]"
+}

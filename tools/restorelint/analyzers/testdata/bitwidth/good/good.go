@@ -1,0 +1,37 @@
+// Package fixture holds bit-manipulation patterns bitwidth must accept.
+package fixture
+
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+// Constant-folded shifts evaluate at arbitrary precision.
+const pcMask = uint64(1)<<48 - 1
+
+func inRange(x uint32) uint32 {
+	return x << 31
+}
+
+func widenThenShift(x uint32) uint64 {
+	return uint64(x) << 32
+}
+
+// The mask exactly covers the source width.
+func exactMask(b uint8) uint64 {
+	return uint64(b) & 0xFF
+}
+
+// Sign extension of genuinely signed data is the Alpha LDL semantics.
+func realSignExtend(x int32) uint64 {
+	return uint64(x)
+}
+
+func sext32(x int32) uint64 {
+	return uint64(int64(x))
+}
+
+func goodRegister(s *StateSpace, w *uint64) {
+	s.Register("w", 0, 0, w, 48)
+	s.Register("w", 0, 0, w, 64)
+	s.Register("w", 0, 0, w, 1)
+}

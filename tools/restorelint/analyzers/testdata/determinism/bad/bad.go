@@ -1,0 +1,39 @@
+// Package fixture exercises every determinism diagnostic.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() (time.Time, time.Duration) {
+	start := time.Now()             // want "time.Now makes simulation state depend on the wall clock"
+	return start, time.Since(start) // want "time.Since makes simulation state depend on the wall clock"
+}
+
+func globalRNG() int {
+	return rand.Intn(100) // want "rand.Intn uses the process-global generator"
+}
+
+func floatOverMap(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into sum over map iteration is order-dependent"
+	}
+	return sum
+}
+
+func printOverMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside map iteration emits output in nondeterministic map order"
+	}
+}
+
+func appendOverMap(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration produces nondeterministic element order"
+	}
+	return keys
+}

@@ -1,0 +1,48 @@
+// Package fixture holds determinism-clean idioms the analyzer must accept.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded generators are reproducible; constructors are allowed.
+func seededRNG(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+// The collect-then-sort idiom restores a deterministic order.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Per-key map writes are order-independent: each key is touched once.
+func normalize(m map[string]float64, n float64) {
+	for k := range m {
+		m[k] /= n
+	}
+}
+
+// Loop-local accumulation never leaks iteration order.
+func localAccum(m map[string]float64) bool {
+	any := false
+	for _, v := range m {
+		ok := v > 0.5
+		if ok {
+			any = true
+		}
+	}
+	return any
+}
+
+// The escape hatch: a justified suppression silences the diagnostic.
+func timestamp() time.Time {
+	return time.Now() //restorelint:ignore determinism -- log decoration only, never fed back into simulation
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises the opcodeswitch diagnostic.
+package fixture
+
+import "repro/internal/isa"
+
+func classify(op isa.Op) int {
+	switch op { // want "switch over isa.Op misses \d+ opcode\(s\)"
+	case isa.OpADDQ, isa.OpSUBQ:
+		return 1
+	case isa.OpLDQ, isa.OpSTQ:
+		return 2
+	}
+	return 0
+}
+
+func isBranchy(op isa.Op) bool {
+	switch op { // want "switch over isa.Op misses \d+ opcode\(s\)"
+	case isa.OpBR, isa.OpBSR:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Package fixture holds opcode switches the analyzer must accept.
+package fixture
+
+import "repro/internal/isa"
+
+// An explicit default acknowledges partial coverage.
+func latency(op isa.Op) int {
+	switch op {
+	case isa.OpMULQ, isa.OpMULQV:
+		return 7
+	case isa.OpLDQ, isa.OpLDL:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// A non-constant case defeats static exhaustiveness; treated as a wildcard.
+func matches(op, other isa.Op) bool {
+	switch op {
+	case other:
+		return true
+	}
+	return false
+}
+
+// Switches over other integer types are out of scope.
+func overInt(x int) int {
+	switch x {
+	case 1:
+		return 10
+	}
+	return 0
+}

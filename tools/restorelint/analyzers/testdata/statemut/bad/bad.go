@@ -1,0 +1,49 @@
+// Package fixture exercises the statemut diagnostics.
+package fixture
+
+// StateSpace stands in for the simulator's injection registry; statemut
+// keys on calls to a method named Register taking &field arguments.
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+//restorelint:writers fillQueue
+type queue struct {
+	slots [4]uint64
+	head  uint64
+}
+
+func (q *queue) register(s *StateSpace) {
+	for i := range q.slots {
+		s.Register("q.slots", 0, 0, &q.slots[i], 64)
+	}
+	s.Register("q.head", 0, 0, &q.head, 2)
+}
+
+type machine struct {
+	q queue
+}
+
+// fillQueue is the declared writer: its writes are the baseline.
+func fillQueue(m *machine, v uint64) {
+	m.q.slots[0] = v
+}
+
+// drainQueue is NOT in the writer list.
+func drainQueue(m *machine) uint64 {
+	v := m.q.slots[0]
+	m.q.head++ // want "write to registered state queue.head outside its owners"
+	return v
+}
+
+func clobber(m *machine, v uint64) {
+	m.q.slots[1] = v // want "write to registered state queue.slots outside its owners"
+}
+
+func wipe(m *machine) {
+	m.q = queue{} // want "write to registered state queue.\(entire struct\) outside its owners"
+}
+
+func leak(m *machine) *uint64 {
+	return &m.q.head // want "address of registered state field queue.head escapes outside its owners"
+}

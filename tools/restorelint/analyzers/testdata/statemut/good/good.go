@@ -1,0 +1,44 @@
+// Package fixture holds state-mutation patterns statemut must accept.
+package fixture
+
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+//restorelint:writers advance
+type counter struct {
+	ticks uint64
+	label string // not a state word
+}
+
+func (c *counter) register(s *StateSpace) {
+	s.Register("ticks", 0, 0, &c.ticks, 64)
+}
+
+// Methods of the owning struct write freely: the struct's own discipline.
+func (c *counter) reset() { c.ticks = 0 }
+
+type machine struct {
+	c counter
+}
+
+// advance is a declared writer.
+func advance(m *machine) {
+	m.c.ticks++
+}
+
+// Unregistered fields carry no write restriction.
+func relabel(m *machine, s string) {
+	m.c.label = s
+}
+
+// Short variable declarations create fresh locals, never state writes.
+func snapshot(m *machine) uint64 {
+	t := m.c.ticks
+	return t
+}
+
+// The escape hatch works for deliberate, justified exceptions.
+func hardReset(m *machine) {
+	m.c.ticks = 0 //restorelint:ignore statemut -- test harness back door, not simulator code
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the stateregister diagnostics.
+package fixture
+
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+// rob has a register method, so every uint64 word is under obligation.
+type rob struct {
+	pc    [4]uint64
+	flags [4]uint64 // want "field rob.flags is \[4\]uint64 but is never registered"
+	head  uint64
+	count uint64 // want "field rob.count is uint64 but is never registered"
+}
+
+func (r *rob) register(s *StateSpace) {
+	for i := range r.pc {
+		s.Register("rob.pc", 0, 0, &r.pc[i], 48)
+	}
+	s.Register("rob.head", 0, 0, &r.head, 2)
+}
+
+// core has no register method, but a field registered elsewhere in the
+// package makes it stateful — the case the old statecheck missed.
+type core struct {
+	fetchPC  uint64
+	watchdog uint64 // want "field core.watchdog is uint64 but is never registered"
+}
+
+func (c *core) setup(s *StateSpace) {
+	s.Register("fetchPC", 0, 0, &c.fetchPC, 48)
+}

@@ -1,0 +1,29 @@
+// Package fixture holds registration patterns stateregister must accept.
+package fixture
+
+type StateSpace struct{}
+
+func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
+
+type queue struct {
+	slots [2]uint64
+	head  uint64
+	// Timing bookkeeping is exempted with a justification; the legacy
+	// statecheck spelling on doneAt must keep working after migration.
+	stamp  uint64 //restorelint:ignore stateregister -- scheduling metadata, not a latch
+	doneAt uint64 //statecheck:ignore — completion timing
+	busy   bool   // non-uint64 fields carry no obligation
+}
+
+func (q *queue) register(s *StateSpace) {
+	for i := range q.slots {
+		s.Register("q.slots", 0, 0, &q.slots[i], 64)
+	}
+	s.Register("q.head", 0, 0, &q.head, 1)
+}
+
+// plain has no register method and no registered fields: no obligation.
+type plain struct {
+	a uint64
+	b [8]uint64
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer and collects diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Diagnostic is one finding, positioned for editor navigation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective marks one //restorelint:ignore comment: the analyzers it
+// silences (empty = all) at its line.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil = all analyzers
+}
+
+// ignoreIndex maps file -> line -> directive for one package.
+type ignoreIndex map[string]map[int]ignoreDirective
+
+func buildIgnoreIndex(pkg *Package) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int]ignoreDirective)
+				}
+				idx[pos.Filename][pos.Line] = dir
+			}
+		}
+	}
+	return idx
+}
+
+// parseIgnore recognises "restorelint:ignore [analyzer ...]" anywhere in a
+// comment, plus the legacy "statecheck:ignore" spelling (equivalent to
+// "restorelint:ignore stateregister"). Text after "--" or "—" is free-form
+// justification.
+func parseIgnore(text string) (ignoreDirective, bool) {
+	if strings.Contains(text, "statecheck:ignore") {
+		return ignoreDirective{analyzers: map[string]bool{"stateregister": true}}, true
+	}
+	i := strings.Index(text, "restorelint:ignore")
+	if i < 0 {
+		return ignoreDirective{}, false
+	}
+	rest := text[i+len("restorelint:ignore"):]
+	if j := strings.IndexAny(rest, "—"); j >= 0 {
+		rest = rest[:j]
+	}
+	if j := strings.Index(rest, "--"); j >= 0 {
+		rest = rest[:j]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ignoreDirective{}, true // bare directive: all analyzers
+	}
+	set := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		set[strings.TrimRight(f, ",.:;")] = true
+	}
+	return ignoreDirective{analyzers: set}, true
+}
+
+func (idx ignoreIndex) suppresses(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := lines[line]; ok {
+			if dir.analyzers == nil || dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies analyzers to a package and returns surviving
+// diagnostics, sorted by position, with ignore directives applied.
+func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	idx := buildIgnoreIndex(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !idx.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// EnclosingFunc returns the innermost function declaration containing pos in
+// the package, or nil. Function literals are attributed to their enclosing
+// declaration: ownership of a write is judged by the declared method it
+// happens in.
+func (pkg *Package) EnclosingFunc(pos token.Pos) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

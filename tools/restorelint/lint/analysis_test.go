@@ -1,0 +1,73 @@
+package lint
+
+import "testing"
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		ok   bool
+		want []string // nil = all analyzers
+	}{
+		{"// plain comment", false, nil},
+		{"//restorelint:ignore", true, nil},
+		{"//restorelint:ignore determinism", true, []string{"determinism"}},
+		{"//restorelint:ignore statemut bitwidth -- justified", true, []string{"statemut", "bitwidth"}},
+		{"//restorelint:ignore stateregister — em-dash justification", true, []string{"stateregister"}},
+		{"//statecheck:ignore — legacy spelling", true, []string{"stateregister"}},
+	}
+	for _, tc := range cases {
+		dir, ok := parseIgnore(tc.text)
+		if ok != tc.ok {
+			t.Errorf("parseIgnore(%q) ok = %v, want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if tc.want == nil {
+			if dir.analyzers != nil {
+				t.Errorf("parseIgnore(%q) = %v, want all-analyzer directive", tc.text, dir.analyzers)
+			}
+			continue
+		}
+		if len(dir.analyzers) != len(tc.want) {
+			t.Errorf("parseIgnore(%q) = %v, want %v", tc.text, dir.analyzers, tc.want)
+			continue
+		}
+		for _, name := range tc.want {
+			if !dir.analyzers[name] {
+				t.Errorf("parseIgnore(%q) missing analyzer %q", tc.text, name)
+			}
+		}
+	}
+}
+
+func TestSuppresses(t *testing.T) {
+	idx := ignoreIndex{
+		"f.go": {
+			10: ignoreDirective{},
+			20: ignoreDirective{analyzers: map[string]bool{"statemut": true}},
+		},
+	}
+	diag := func(line int, analyzer string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer}
+		d.Pos.Filename = "f.go"
+		d.Pos.Line = line
+		return d
+	}
+	if !idx.suppresses(diag(10, "bitwidth")) {
+		t.Error("bare directive must suppress every analyzer on its line")
+	}
+	if !idx.suppresses(diag(11, "bitwidth")) {
+		t.Error("directive must suppress the following line")
+	}
+	if idx.suppresses(diag(12, "bitwidth")) {
+		t.Error("directive must not reach two lines down")
+	}
+	if !idx.suppresses(diag(20, "statemut")) {
+		t.Error("named directive must suppress its analyzer")
+	}
+	if idx.suppresses(diag(20, "determinism")) {
+		t.Error("named directive must not suppress other analyzers")
+	}
+}

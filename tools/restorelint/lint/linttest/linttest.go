@@ -1,0 +1,109 @@
+// Package linttest is a miniature analysistest: it loads a fixture package,
+// runs one analyzer over it, and matches the diagnostics against
+// `// want "regexp"` comments in the fixture sources. Fixtures must
+// type-check; they may import packages of the enclosing module.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/tools/restorelint/lint"
+)
+
+// expectation is one `// want "rx"` on one fixture line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// Run loads the package in dir, applies the analyzer, and requires the
+// diagnostics to match the fixture's want comments exactly: every diagnostic
+// must be expected, and every expectation must fire. A fixture with no want
+// comments therefore asserts the analyzer stays silent ("good" fixtures).
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	expects := collectWants(t, pkg)
+	diags := lint.RunAnalyzers(pkg, a)
+
+	for _, d := range diags {
+		if !consume(expects, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+func consume(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double-quoted segments of a want payload:
+// `"a" "b"` -> a, b.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i+1:]
+		j := strings.IndexByte(s, '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}

@@ -1,0 +1,185 @@
+// Package lint is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: analyzers receive a type-checked
+// package and report position-tagged diagnostics, a runner applies
+// //restorelint:ignore suppression, and a loader type-checks module packages
+// with nothing but the standard library (the module proxy is unavailable in
+// the build environment, so x/tools itself cannot be vendored).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package: the unit an Analyzer runs on.
+type Package struct {
+	Path  string // import path ("repro/internal/pipeline", or synthetic for fixtures)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // parsed with comments, non-test files only
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks packages of the enclosing module from source. Imports
+// of sibling module packages are resolved recursively; everything else is
+// delegated to the standard library's source importer.
+type Loader struct {
+	ModuleRoot string // directory holding go.mod
+	ModulePath string // module path declared in go.mod
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // import path -> checked package
+}
+
+// NewLoader locates the enclosing module starting from dir (walking up to the
+// first go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Import implements types.Importer over module-local and standard-library
+// packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.load(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package in dir under the given import path
+// (derived from the module root when empty). Test files are skipped: the
+// analyzers gate simulator code, and external test packages would introduce
+// import cycles into a source-level loader.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.pathFor(abs)
+	if pkg, ok := l.pkgs[path]; ok {
+		// Already checked as a dependency of an earlier Load. Reuse it:
+		// re-checking would mint a second *types.Package for the same path
+		// and split type identity across importers.
+		return pkg, nil
+	}
+	return l.load(abs, path, nil)
+}
+
+func (l *Loader) pathFor(abs string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "lintfixture/" + filepath.Base(abs)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) load(dir, path string, _ interface{}) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, err
+	}
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type errors: %v", path, typeErrs[0])
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
