@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet staticcheck restorelint fuzz bench clean
+.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench clean
 
 all: build test lint
 
@@ -16,6 +16,12 @@ test:
 # The full suite under the race detector (what CI gates on).
 race:
 	$(GO) test -race ./...
+
+# The campaign engine's own gate: injection + experiment packages under the
+# race detector, where the parallel engine's disjoint-slot writes and the
+# clone pool are checked hardest.
+engine:
+	$(GO) test -race ./internal/inject/... ./internal/experiments/...
 
 # lint = vet + staticcheck (when installed) + restorelint. staticcheck is
 # optional locally — CI installs it — so the target degrades gracefully on

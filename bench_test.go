@@ -144,6 +144,70 @@ func BenchmarkFig8(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Campaign engine: serial vs parallel. The pairs below run the identical
+// campaign configuration with Workers 0 and 4; the speedup is the ratio of
+// their ns/op (wall clock — it tracks available CPUs, so expect ~1x on a
+// single-core machine and ~N/x on N cores). Results are bit-identical
+// either way, which TestUArchParallelMatchesSerial pins.
+
+func uarchEngineBench() inject.UArchConfig {
+	return inject.UArchConfig{
+		Bench: workload.MCF, Seed: 7, Scale: 0.5,
+		Points: 5, TrialsPerPoint: 30,
+		WarmupCycles: 5_000, SpreadCycles: 10_000, WindowCycles: 5_000,
+	}
+}
+
+func vmEngineBench() inject.VMConfig {
+	return inject.VMConfig{
+		Bench: workload.MCF, Seed: 7, Scale: 0.5,
+		Trials: 160, Points: 20, Window: 20_000, Spread: 40_000,
+	}
+}
+
+// BenchmarkUArchCampaignSerial is the single-goroutine baseline for the
+// microarchitectural campaign engine.
+func BenchmarkUArchCampaignSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := inject.RunUArch(uarchEngineBench()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUArchCampaignParallel4 fans the same campaign across 4 workers.
+func BenchmarkUArchCampaignParallel4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := uarchEngineBench()
+		cfg.Workers = 4
+		if _, err := inject.RunUArch(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMCampaignSerial is the single-goroutine baseline for the
+// software-level campaign engine.
+func BenchmarkVMCampaignSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := inject.RunVM(vmEngineBench()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMCampaignParallel4 fans the same campaign across 4 workers.
+func BenchmarkVMCampaignParallel4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := vmEngineBench()
+		cfg.Workers = 4
+		if _, err := inject.RunVM(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Substrate micro-benchmarks.
 
 // BenchmarkArchSimStep measures the architectural simulator's throughput.
@@ -220,6 +284,26 @@ func BenchmarkPipelineClone(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := p.Clone()
 		_ = c
+	}
+}
+
+// BenchmarkPipelineResetFrom measures the clone pool's recycle path: reset
+// an existing fork back to the master instead of allocating a fresh Clone.
+func BenchmarkPipelineResetFrom(b *testing.B) {
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1})
+	m, err := prog.NewMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.RunCycles(5000)
+	c := p.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ResetFrom(p)
 	}
 }
 

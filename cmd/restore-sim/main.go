@@ -25,14 +25,19 @@
 //	demo          run the ReStore processor and print its activity report
 //	all           everything above, in order
 //
-// Paper-scale campaigns take minutes; use -trials to scale them down.
+// Paper-scale campaigns take minutes; use -trials to scale them down,
+// -workers to fan trials across CPUs (results are bit-identical to serial
+// runs), and -progress for a live trial counter with an ETA.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/fit"
@@ -78,6 +83,8 @@ func run(args []string) error {
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		interval = fs.Uint64("interval", 100, "checkpoint interval for summary metrics")
 		perBench = fs.Bool("perbench", false, "append per-benchmark breakdowns")
+		workers  = fs.Int("workers", 0, "goroutines per campaign (0 = serial, -1 = all CPUs); results are identical either way")
+		progress = fs.Bool("progress", false, "print a live trial counter with ETA to stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n\n")
@@ -92,15 +99,22 @@ func run(args []string) error {
 		return fmt.Errorf("exactly one experiment required")
 	}
 
+	if *workers < 0 {
+		*workers = runtime.NumCPU()
+	}
 	c := &cli{
 		opts: experiments.Options{
 			Seed:        *seed,
 			Scale:       *scale,
 			TrialFactor: *trials,
+			Workers:     *workers,
 		},
 		csv:      *csv,
 		interval: *interval,
 		perBench: *perBench,
+	}
+	if *progress {
+		c.opts.Progress = (&progressMeter{}).tick
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
@@ -146,6 +160,44 @@ func run(args []string) error {
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
+	}
+}
+
+// progressMeter renders a throttled single-line trial counter with an ETA on
+// stderr. Campaigns report per-trial completions — from worker goroutines
+// when -workers is set — so ticks are serialised under a mutex. Each campaign
+// counts its own trials; the meter restarts its clock when a new campaign's
+// first tick arrives.
+type progressMeter struct {
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+	prev  int
+}
+
+func (p *progressMeter) tick(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if p.start.IsZero() || done < p.prev {
+		p.start = now
+		p.last = time.Time{}
+	}
+	p.prev = done
+	if done < total && now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	line := fmt.Sprintf("\r%d/%d trials (%.0f%%)", done, total, 100*float64(done)/float64(total))
+	if elapsed := now.Sub(p.start); done > 0 && done < total && elapsed > time.Second {
+		eta := time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintf(os.Stderr, "%-48s", line)
+	if done >= total {
+		fmt.Fprintln(os.Stderr)
+		p.start = time.Time{}
+		p.prev = 0
 	}
 }
 

@@ -16,6 +16,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/inject"
 	"repro/internal/stats"
@@ -34,9 +35,13 @@ func run() error {
 		Seed:           2026,
 		Points:         10,
 		TrialsPerPoint: 40,
+		// Trials fan out across every CPU; the campaign engine pre-draws
+		// all random picks serially, so the results are bit-identical to
+		// a Workers: 0 serial run.
+		Workers: runtime.NumCPU(),
 	}
-	fmt.Printf("injecting %d single-bit faults into the pipeline running %s...\n\n",
-		cfg.Points*cfg.TrialsPerPoint, cfg.Bench)
+	fmt.Printf("injecting %d single-bit faults into the pipeline running %s (%d workers)...\n\n",
+		cfg.Points*cfg.TrialsPerPoint, cfg.Bench, cfg.Workers)
 
 	res, err := inject.RunUArch(cfg)
 	if err != nil {

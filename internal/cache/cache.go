@@ -141,6 +141,20 @@ func (c *Cache) Clone() *Cache {
 	return &n
 }
 
+// CopyFrom makes c an exact copy of src (contents and statistics), reusing
+// c's entry array when the geometries match. Campaign clone pools use this
+// to reset a trial's caches back to the master's without reallocating.
+func (c *Cache) CopyFrom(src *Cache) {
+	c.cfg = src.cfg
+	c.sets = src.sets
+	c.accesses = src.accesses
+	c.misses = src.misses
+	if len(c.entries) != len(src.entries) {
+		c.entries = make([]entry, len(src.entries))
+	}
+	copy(c.entries, src.entries)
+}
+
 // Reset invalidates all entries and clears statistics.
 func (c *Cache) Reset() {
 	for i := range c.entries {

@@ -30,6 +30,13 @@ type Options struct {
 	TrialFactor float64
 	// Benchmarks restricts the suite (nil = all seven).
 	Benchmarks []workload.Benchmark
+	// Workers fans each campaign's trials out across goroutines (0 =
+	// serial). Campaign results are bit-identical for every worker count.
+	Workers int
+	// Progress, if set, receives per-trial completion ticks from each
+	// campaign; with Workers > 1 it is called from worker goroutines and
+	// must be safe for concurrent use.
+	Progress func(done, total int)
 }
 
 func (o *Options) applyDefaults() {
@@ -80,9 +87,11 @@ func Fig2(opts Options, low32 bool) (*Fig2Result, error) {
 			Bench:  bench,
 			Seed:   opts.Seed,
 			Scale:  opts.Scale,
-			Trials: scaleCount(1000, opts.TrialFactor, 40),
-			Window: 100_000,
-			Low32:  low32,
+			Trials:   scaleCount(1000, opts.TrialFactor, 40),
+			Window:   100_000,
+			Low32:    low32,
+			Workers:  opts.Workers,
+			Progress: opts.Progress,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig2 %s: %w", bench, err)
@@ -141,6 +150,8 @@ func Campaign(opts Options, cc CampaignConfig) (*UArchExperiment, error) {
 			WindowCycles:   10_000,
 			LatchesOnly:    cc.LatchesOnly,
 			Harden:         cc.Harden,
+			Workers:        opts.Workers,
+			Progress:       opts.Progress,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("uarch campaign %s: %w", bench, err)

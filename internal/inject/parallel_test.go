@@ -1,0 +1,163 @@
+package inject
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// The campaign engine's contract: results are a pure function of the
+// configuration, bit-identical however many workers run the trials. These
+// tests pin that across the whole benchmark suite for both campaign levels.
+
+func TestUArchParallelMatchesSerial(t *testing.T) {
+	for _, bench := range workload.Benchmarks() {
+		bench := bench
+		t.Run(string(bench), func(t *testing.T) {
+			t.Parallel()
+			serialCfg := smallUArch(bench)
+			serial, err := RunUArch(serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parCfg := smallUArch(bench)
+			parCfg.Workers = 8
+			par, err := RunUArch(parCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial.Trials) != len(par.Trials) {
+				t.Fatalf("trial counts differ: serial=%d parallel=%d",
+					len(serial.Trials), len(par.Trials))
+			}
+			for i := range serial.Trials {
+				if serial.Trials[i] != par.Trials[i] {
+					t.Fatalf("trial %d differs:\nserial:   %+v\nparallel: %+v",
+						i, serial.Trials[i], par.Trials[i])
+				}
+			}
+			if serial.TotalBits != par.TotalBits || serial.LatchBits != par.LatchBits {
+				t.Errorf("state-space sizes differ between engines")
+			}
+		})
+	}
+}
+
+func TestVMParallelMatchesSerial(t *testing.T) {
+	for _, bench := range workload.Benchmarks() {
+		bench := bench
+		t.Run(string(bench), func(t *testing.T) {
+			t.Parallel()
+			serial, err := RunVM(smallVM(bench, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parCfg := smallVM(bench, false)
+			parCfg.Workers = 8
+			par, err := RunVM(parCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial.Trials) != len(par.Trials) {
+				t.Fatalf("trial counts differ: serial=%d parallel=%d",
+					len(serial.Trials), len(par.Trials))
+			}
+			for i := range serial.Trials {
+				if serial.Trials[i] != par.Trials[i] {
+					t.Fatalf("trial %d differs:\nserial:   %+v\nparallel: %+v",
+						i, serial.Trials[i], par.Trials[i])
+				}
+			}
+		})
+	}
+}
+
+func TestUArchProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	lastDone, lastTotal := 0, 0
+	cfg := smallUArch(workload.Gzip)
+	cfg.Workers = 4
+	cfg.Progress = func(done, total int) {
+		mu.Lock()
+		calls++
+		if done > lastDone {
+			lastDone = done
+		}
+		lastTotal = total
+		mu.Unlock()
+	}
+	r, err := RunUArch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Points * cfg.TrialsPerPoint
+	if calls != want || lastDone != want || lastTotal != want {
+		t.Errorf("progress: calls=%d lastDone=%d lastTotal=%d, want all %d",
+			calls, lastDone, lastTotal, want)
+	}
+	if len(r.Trials) != want {
+		t.Errorf("trials = %d, want %d", len(r.Trials), want)
+	}
+}
+
+// TestUArchTruncatedCampaign covers the partial-result path: when the golden
+// pipeline stops before the campaign completes (here forced by an aggressive
+// watchdog that fires on the first long warm-up stall), RunUArch returns the
+// partial result with the state-space survey populated instead of an error.
+func TestUArchTruncatedCampaign(t *testing.T) {
+	for _, workers := range []int{0, 8} {
+		cfg := smallUArch(workload.MCF)
+		cfg.Workers = workers
+		pcfg := pipeline.DefaultConfig()
+		// Small enough that a cold-cache miss chain trips it during
+		// warm-up (the suite's workloads never halt, so the watchdog is
+		// the only reachable stop condition).
+		pcfg.WatchdogCycles = 64
+		cfg.Pipeline = &pcfg
+		r, err := RunUArch(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: truncated campaign errored: %v", workers, err)
+		}
+		if r.Trials == nil {
+			t.Fatalf("workers=%d: Trials is nil, want empty slice", workers)
+		}
+		if len(r.Trials) >= cfg.Points*cfg.TrialsPerPoint {
+			t.Fatalf("workers=%d: campaign was not truncated (%d trials)", workers, len(r.Trials))
+		}
+		if len(r.Trials)%cfg.TrialsPerPoint != 0 {
+			t.Errorf("workers=%d: partial result has a torn point: %d trials", workers, len(r.Trials))
+		}
+		if r.TotalBits == 0 || r.LatchBits == 0 {
+			t.Errorf("workers=%d: truncated result missing state-space survey", workers)
+		}
+	}
+}
+
+func TestPickBitNoEligibleBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	// An empty space has nothing to sample at all.
+	if _, _, err := pickBit(&pipeline.StateSpace{}, rng, false); !errors.Is(err, ErrNoEligibleBits) {
+		t.Errorf("empty space: err = %v, want ErrNoEligibleBits", err)
+	}
+
+	// A space with only SRAM elements has no latch bits: the latch-only
+	// sampler must fail fast instead of rejection-sampling forever.
+	var sramOnly pipeline.StateSpace
+	words := make([]uint64, 4)
+	for i := range words {
+		sramOnly.Register("sram", pipeline.KindSRAM, pipeline.ClassData, &words[i], 64)
+	}
+	if _, _, err := pickBit(&sramOnly, rng, true); !errors.Is(err, ErrNoEligibleBits) {
+		t.Errorf("latch-only over SRAM space: err = %v, want ErrNoEligibleBits", err)
+	}
+	// Unconstrained sampling over the same space still works.
+	if _, _, err := pickBit(&sramOnly, rng, false); err != nil {
+		t.Errorf("unconstrained pick failed: %v", err)
+	}
+}

@@ -52,6 +52,18 @@ type UArchConfig struct {
 
 	// Pipeline optionally overrides the processor configuration.
 	Pipeline *pipeline.Config
+
+	// Workers is the number of goroutines trials fan out across; 0 (or 1)
+	// runs the campaign serially on the calling goroutine. Results are
+	// bit-identical for every worker count: all random bit picks are
+	// pre-drawn serially and each trial writes a pre-assigned result slot.
+	Workers int
+
+	// Progress, if set, is called after each completed trial with the
+	// running and total trial counts. With Workers > 1 it is invoked from
+	// worker goroutines and must be safe for concurrent use. It must not
+	// influence campaign state.
+	Progress func(done, total int)
 }
 
 func (c *UArchConfig) applyDefaults() {
@@ -113,9 +125,22 @@ type mispRec struct {
 	highConf bool
 }
 
+// uarchPick is one pre-drawn (point, trial) bit selection.
+type uarchPick struct {
+	ref     pipeline.BitRef
+	isLatch bool
+}
+
 // RunUArch executes the campaign: warm up, fork a golden pipeline at each
 // injection point, record its continuation, then run TrialsPerPoint
-// corrupted clones against it.
+// corrupted clones against it — serially, or fanned out across cfg.Workers
+// goroutines with bit-identical results (all bit picks are pre-drawn on the
+// dispatching goroutine; each trial fills a pre-assigned result slot).
+//
+// If the golden pipeline stops during warm-up or before an injection point
+// (a short workload at small Scale ends before the spread is exhausted),
+// the remaining points are truncated and the partial result is returned
+// with TotalBits and the completed Trials populated.
 func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	cfg.applyDefaults()
 	prog, err := workload.Generate(cfg.Bench, workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
@@ -136,12 +161,9 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0A12C4))
 
-	master.RunCycles(cfg.WarmupCycles)
-	if master.Status() != pipeline.StatusRunning {
-		return nil, fmt.Errorf("inject: golden pipeline stopped during warm-up: %v", master.Status())
-	}
-
 	// Injection points as cycle offsets past warm-up, visited in order.
+	// Drawn before the warm-up status check so a truncated campaign
+	// consumes the same RNG stream as a full one.
 	offsets := make([]uint64, cfg.Points)
 	for i := range offsets {
 		offsets[i] = uint64(rng.Int63n(int64(cfg.SpreadCycles)))
@@ -156,33 +178,70 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 		LatchBits:   space.TotalBits(true),
 		HardenStats: harden.Survey(space, protMap),
 	}
+	if cfg.LatchesOnly && result.LatchBits == 0 {
+		return nil, fmt.Errorf("latch-only campaign over %d latch bits: %w",
+			result.LatchBits, ErrNoEligibleBits)
+	}
+
+	// Pre-draw every (point, trial) bit pick serially, in exactly the
+	// order the serial engine consumes the stream. The picks depend only
+	// on the state space's fixed geometry, so drawing them up front (and
+	// never handing the rand.Rand to a worker) is what makes the parallel
+	// campaign bit-identical to the serial one.
+	picks := make([]uarchPick, cfg.Points*cfg.TrialsPerPoint)
+	for i := range picks {
+		ref, isLatch, err := pickBit(space, rng, cfg.LatchesOnly)
+		if err != nil {
+			return nil, err
+		}
+		picks[i] = uarchPick{ref: ref, isLatch: isLatch}
+	}
+
+	master.RunCycles(cfg.WarmupCycles)
+	if master.Status() != pipeline.StatusRunning {
+		// The program ended inside warm-up: nothing to inject into.
+		result.Trials = []UArchTrial{}
+		return result, nil
+	}
+
+	eng := newEngine(cfg.Workers)
+	var pool clonePool
+	trials := make([]UArchTrial, len(picks))
+	totalTrials := len(picks)
+	pointsRun := 0
 
 	base := cfg.WarmupCycles
-	for _, off := range offsets {
+	for pi, off := range offsets {
 		target := cfg.WarmupCycles + off
 		if target > base {
 			master.RunCycles(target - base)
 			base = target
 		}
 		if master.Status() != pipeline.StatusRunning {
-			return nil, fmt.Errorf("inject: golden pipeline stopped at cycle %d: %v",
-				master.Cycles(), master.Status())
+			break // program ended mid-spread: truncate remaining points
 		}
 
+		// Golden-trace recording stays on the dispatching goroutine;
+		// the master cannot be shared with in-flight trials.
 		trace, err := recordGolden(master, cfg.WindowCycles)
 		if err != nil {
+			eng.wait()
 			return nil, err
+		}
+		if trace == nil {
+			break // golden continuation ended inside the window: truncate
 		}
 
 		for t := 0; t < cfg.TrialsPerPoint; t++ {
-			ref, isLatch := pickBit(master.State(), rng, cfg.LatchesOnly)
-			elem := master.State().Elements()[ref.Elem]
+			slot := pi*cfg.TrialsPerPoint + t
+			pick := picks[slot]
+			elem := space.Elements()[pick.ref.Elem]
 
 			trial := UArchTrial{
 				PointCycle:  master.Cycles(),
 				Elem:        elem.Name,
-				Bit:         ref.Bit,
-				IsLatch:     isLatch,
+				Bit:         pick.ref.Bit,
+				IsLatch:     pick.isLatch,
 				DeadlockLat: Never,
 				ExcLat:      Never,
 				CFVLat:      Never,
@@ -191,28 +250,48 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 				DivergeLat:  Never,
 			}
 
-			if protMap.Protected(ref.Elem) {
+			if protMap.Protected(pick.ref.Elem) {
 				// Parity detects the flip on read (recovered by
 				// flush); ECC corrects it. Either way it cannot
 				// cause failure.
 				trial.Protected = true
-				result.Trials = append(result.Trials, trial)
+				trials[slot] = trial
+				eng.done(cfg.Progress, totalTrials)
 				continue
 			}
 
-			faulty := master.Clone()
-			runUArchTrial(faulty, ref, cfg.BurstBits, trace, cfg.WindowCycles, &trial)
-			result.Trials = append(result.Trials, trial)
+			// Clone (or pool-reset) on the dispatching goroutine,
+			// while the master still sits at this point.
+			faulty := pool.acquire(master)
+			ref := pick.ref
+			eng.submit(func() {
+				runUArchTrial(faulty, ref, cfg.BurstBits, trace, cfg.WindowCycles, &trial)
+				trials[slot] = trial
+				pool.release(faulty)
+				eng.done(cfg.Progress, totalTrials)
+			})
 		}
+		pointsRun = pi + 1
 	}
+	eng.wait()
+	result.Trials = trials[:pointsRun*cfg.TrialsPerPoint]
 	return result, nil
 }
 
+// pickBitAttempts bounds the rejection sampler. Latches are the majority of
+// the state space, so honest configurations terminate in a couple of draws;
+// the bound exists so a degenerate state space surfaces ErrNoEligibleBits
+// instead of hanging the campaign.
+const pickBitAttempts = 1 << 16
+
 // pickBit samples a uniformly random eligible bit (rejection sampling for
-// the latch-only campaign; latches are the majority of bits, so this
-// terminates quickly).
-func pickBit(space *pipeline.StateSpace, rng *rand.Rand, latchesOnly bool) (pipeline.BitRef, bool) {
-	for {
+// the latch-only campaign). It fails with ErrNoEligibleBits when the
+// constraints leave nothing to sample.
+func pickBit(space *pipeline.StateSpace, rng *rand.Rand, latchesOnly bool) (pipeline.BitRef, bool, error) {
+	if space.TotalBits(false) == 0 || (latchesOnly && space.TotalBits(true) == 0) {
+		return pipeline.BitRef{}, false, ErrNoEligibleBits
+	}
+	for attempt := 0; attempt < pickBitAttempts; attempt++ {
 		n := uint64(rng.Int63n(int64(space.TotalBits(false))))
 		ref, ok := space.NthBit(n)
 		if !ok {
@@ -222,12 +301,16 @@ func pickBit(space *pipeline.StateSpace, rng *rand.Rand, latchesOnly bool) (pipe
 		if latchesOnly && !isLatch {
 			continue
 		}
-		return ref, isLatch
+		return ref, isLatch, nil
 	}
+	return pipeline.BitRef{}, false, ErrNoEligibleBits
 }
 
 // recordGolden forks the master and records its continuation: per-cycle
-// state digests and the committed instruction stream.
+// state digests and the committed instruction stream. A (nil, nil) return
+// means the golden continuation stopped inside the observation window — the
+// program is ending — and the campaign should truncate at this point rather
+// than fail.
 func recordGolden(master *pipeline.Pipeline, window uint64) (*goldenTrace, error) {
 	g := master.Clone()
 	trace := &goldenTrace{
@@ -253,6 +336,9 @@ func recordGolden(master *pipeline.Pipeline, window uint64) (*goldenTrace, error
 		}
 		if c < total {
 			g.Cycle()
+			if g.Status() == pipeline.StatusHalted {
+				return nil, nil // program ends inside the window: truncate
+			}
 			if g.Status() != pipeline.StatusRunning {
 				return nil, fmt.Errorf("inject: golden continuation stopped: %v", g.Status())
 			}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/workload"
 )
 
@@ -38,6 +40,18 @@ type VMConfig struct {
 	// Low32 restricts flips to result bits 0..31, reproducing the
 	// Section 3.1 sensitivity study of virtual-address-space size.
 	Low32 bool
+
+	// Workers is the number of goroutines trials fan out across; 0 (or 1)
+	// runs the campaign serially on the calling goroutine. Results are
+	// bit-identical for every worker count: all random bit picks are
+	// pre-drawn serially and each trial writes a pre-assigned result slot.
+	Workers int
+
+	// Progress, if set, is called after each completed trial with the
+	// running and total trial counts. With Workers > 1 it is invoked from
+	// worker goroutines and must be safe for concurrent use. It must not
+	// influence campaign state.
+	Progress func(done, total int)
 }
 
 func (c *VMConfig) applyDefaults() {
@@ -89,7 +103,14 @@ func (r *VMResult) Distribution(latency uint64) map[string]float64 {
 // RunVM executes the campaign. The golden execution advances through the
 // program once; at each injection point the post-injection continuation is
 // simulated once to record a golden event trace, then each trial replays
-// the continuation with one result bit flipped, comparing event-by-event.
+// the continuation with one result bit flipped, comparing event-by-event —
+// serially, or fanned out across cfg.Workers goroutines with bit-identical
+// results (every bit pick is pre-drawn on the dispatching goroutine and
+// every trial fills a pre-assigned result slot).
+//
+// If the golden program halts before an injection point or inside a golden
+// observation window (a short workload at small Scale), the remaining
+// points are truncated and the partial result is returned.
 func RunVM(cfg VMConfig) (*VMResult, error) {
 	cfg.applyDefaults()
 	prog, err := workload.Generate(cfg.Bench, workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
@@ -116,40 +137,90 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	trialsPerPoint := cfg.Trials / len(points)
 	extra := cfg.Trials - trialsPerPoint*len(points)
 
-	result := &VMResult{Config: cfg}
-	golden := make([]arch.Event, 0, cfg.Window)
+	// Pre-draw every trial's bit position serially, in exactly the order
+	// the serial engine consumes the stream, so the parallel campaign is
+	// bit-identical to the serial one.
+	maxBit := 64
+	if cfg.Low32 {
+		maxBit = 32
+	}
+	bits := make([]uint8, cfg.Trials)
+	for i := range bits {
+		bits[i] = uint8(rng.Intn(maxBit))
+	}
 
+	result := &VMResult{Config: cfg}
+	eng := newEngine(cfg.Workers)
+	parallel := cfg.Workers > 1
+	trials := make([]VMTrial, cfg.Trials)
+	// Workers hold references into the golden slice while the dispatcher
+	// records the next point's, so the parallel engine allocates a fresh
+	// slice per point; the serial engine reuses one, as it always has.
+	var golden []arch.Event
+	if !parallel {
+		golden = make([]arch.Event, 0, cfg.Window)
+	}
+	// memPool recycles per-trial memory images for the parallel engine.
+	var memPool sync.Pool
+
+	filled := 0
+	truncated := false
 	for pi, point := range points {
 		// Advance the golden simulator to the injection point.
 		for sim.InstRet < point && !sim.Stopped() {
 			sim.Step()
 		}
-		if sim.Stopped() {
-			return nil, fmt.Errorf("inject: golden run stopped at %d", sim.InstRet)
+		if sim.Excepted {
+			eng.wait()
+			return nil, fmt.Errorf("inject: golden run excepted at %d: %v", sim.InstRet, sim.LastException)
+		}
+		if sim.Halted {
+			break // program over before this point: truncate
 		}
 		// Find the next register-writing instruction and execute it;
-		// its event carries the result to corrupt.
+		// its event carries the result to corrupt. The program may halt
+		// first (short workloads), which also truncates the campaign.
 		var injEv arch.Event
 		for {
 			injEv = sim.Step()
 			if injEv.Exception != arch.ExcNone {
+				eng.wait()
 				return nil, fmt.Errorf("inject: golden exception at %#x", injEv.PC)
+			}
+			if injEv.Halted {
+				truncated = true
+				break
 			}
 			if injEv.DestValid && injEv.Dest != isa.RegZero {
 				break
 			}
 		}
+		if truncated {
+			break
+		}
 
 		// Record the golden continuation once.
 		preRegs := sim.Snapshot()
 		preMark := m.Snapshot()
-		golden = golden[:0]
+		if parallel {
+			golden = make([]arch.Event, 0, cfg.Window)
+		} else {
+			golden = golden[:0]
+		}
 		for i := uint64(0); i < cfg.Window; i++ {
 			ev := sim.Step()
 			if ev.Exception != arch.ExcNone {
+				eng.wait()
 				return nil, fmt.Errorf("inject: golden exception at %#x", ev.PC)
 			}
+			if ev.Halted {
+				truncated = true
+				break
+			}
 			golden = append(golden, ev)
+		}
+		if truncated {
+			break // window incomplete: truncate at this point
 		}
 		goldenEnd := sim.Snapshot()
 
@@ -157,22 +228,53 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 		if pi < extra {
 			n++
 		}
-		for t := 0; t < n; t++ {
-			maxBit := 64
-			if cfg.Low32 {
-				maxBit = 32
-			}
-			bit := uint8(rng.Intn(maxBit))
-
-			// Rewind to the injection point and corrupt the result.
+		if parallel {
+			// Rewind the master once, then fork an independent memory
+			// image and simulator per trial; the dispatcher clones (the
+			// pool resets a retired image via Memory.CopyFrom) while
+			// workers run behind it.
 			m.RestoreTo(preMark)
 			sim.Restore(preRegs)
-			sim.SetReg(injEv.Dest, sim.Reg(injEv.Dest)^(1<<bit))
+			goldenTrace := golden
+			for t := 0; t < n; t++ {
+				slot := filled + t
+				bit := bits[slot]
+				var fm *mem.Memory
+				if v := memPool.Get(); v != nil {
+					fm = v.(*mem.Memory)
+					fm.CopyFrom(m)
+				} else {
+					fm = m.Clone()
+				}
+				fsim := arch.New(fm, prog.Entry)
+				fsim.Restore(preRegs)
+				fsim.SetReg(injEv.Dest, fsim.Reg(injEv.Dest)^(1<<bit))
+				injDest, injPC := injEv.Dest, injEv.PC
+				eng.submit(func() {
+					trial := runVMTrial(fsim, injDest, goldenTrace, goldenEnd)
+					trial.Point = injPC
+					trial.Bit = bit
+					trials[slot] = trial
+					memPool.Put(fm)
+					eng.done(cfg.Progress, cfg.Trials)
+				})
+			}
+		} else {
+			for t := 0; t < n; t++ {
+				slot := filled + t
+				bit := bits[slot]
 
-			trial := runVMTrial(sim, injEv.Dest, golden, goldenEnd)
-			trial.Point = injEv.PC
-			trial.Bit = bit
-			result.Trials = append(result.Trials, trial)
+				// Rewind to the injection point and corrupt the result.
+				m.RestoreTo(preMark)
+				sim.Restore(preRegs)
+				sim.SetReg(injEv.Dest, sim.Reg(injEv.Dest)^(1<<bit))
+
+				trial := runVMTrial(sim, injEv.Dest, golden, goldenEnd)
+				trial.Point = injEv.PC
+				trial.Bit = bit
+				trials[slot] = trial
+				eng.done(cfg.Progress, cfg.Trials)
+			}
 		}
 
 		// Rewind once more and make the golden continuation permanent
@@ -180,7 +282,10 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 		m.RestoreTo(preMark)
 		sim.Restore(preRegs)
 		m.DiscardTo(0)
+		filled += n
 	}
+	eng.wait()
+	result.Trials = trials[:filled]
 	return result, nil
 }
 

@@ -307,6 +307,30 @@ func (m *Memory) Clone() *Memory {
 	return c
 }
 
+// CopyFrom makes m an exact copy of src's mappings and contents while
+// reusing m's existing page allocations. Like Clone, journal state is not
+// copied: the journal is cleared and journalling disabled. Campaign clone
+// pools use this to reset a trial's dirtied image back to the master's
+// without reallocating every page.
+func (m *Memory) CopyFrom(src *Memory) {
+	for vpn := range m.pages {
+		if _, ok := src.pages[vpn]; !ok {
+			delete(m.pages, vpn)
+		}
+	}
+	for vpn, sp := range src.pages {
+		p, ok := m.pages[vpn]
+		if !ok {
+			p = &page{}
+			m.pages[vpn] = p
+		}
+		p.perm = sp.perm
+		p.data = sp.data
+	}
+	m.journalOn = false
+	m.journal = m.journal[:0]
+}
+
 // Equal reports whether two images have identical mappings and contents.
 func (m *Memory) Equal(o *Memory) bool {
 	if len(m.pages) != len(o.pages) {

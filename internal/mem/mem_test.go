@@ -298,3 +298,56 @@ func TestMappedAndFootprint(t *testing.T) {
 	m.Map(0, 1, 0) // zero-length no-op
 	m.Map(0, 0, PermRW)
 }
+
+func TestCopyFromMatchesClone(t *testing.T) {
+	src := New()
+	src.Map(0x10000, 3*PageSize, PermRW)
+	src.Map(0x40000, PageSize, PermRead)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		addr := 0x10000 + uint64(rng.Intn(3*PageSize/8))*8
+		if err := src.WriteQ(addr, rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The destination starts with a different layout, dirtied contents,
+	// an extra page, and a live journal — all of which CopyFrom must
+	// discard or overwrite.
+	dst := New()
+	dst.Map(0x10000, PageSize, PermRW)
+	dst.Map(0x90000, PageSize, PermRW) // not mapped in src
+	dst.EnableJournal()
+	if err := dst.WriteQ(0x10000, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom image differs from source")
+	}
+	if dst.Pages() != src.Pages() {
+		t.Fatalf("pages = %d, want %d (stale page not dropped)", dst.Pages(), src.Pages())
+	}
+	if _, err := dst.ReadQ(0x90000); err == nil {
+		t.Error("page absent in source survived CopyFrom")
+	}
+	if err := dst.WriteQ(0x40000, 1); err == nil {
+		t.Error("read-only permission not copied")
+	}
+	// Journal state is excluded, matching Clone.
+	if dst.JournalLen() != 0 {
+		t.Errorf("journal survived CopyFrom: %d records", dst.JournalLen())
+	}
+	if err := dst.WriteQ(0x10008, 7); err != nil {
+		t.Fatal(err)
+	}
+	if dst.JournalLen() != 0 {
+		t.Error("journalling still enabled after CopyFrom")
+	}
+
+	// Writes after the copy must not leak back into the source.
+	if v, err := src.ReadQ(0x10008); err != nil || v == 7 {
+		t.Errorf("source mutated through CopyFrom alias: v=%d err=%v", v, err)
+	}
+}

@@ -266,6 +266,74 @@ func (p *Pipeline) Clone() *Pipeline {
 	return n
 }
 
+// ResetFrom makes p a bit-identical fork of src — the same machine state a
+// fresh src.Clone() would carry — while reusing p's existing allocations
+// (memory pages, cache and predictor tables, the registered state space).
+// p must have been built from the same Config as src (e.g. it is an earlier
+// Clone of the same master); the per-trial clone pool in fault-injection
+// campaigns depends on that to recycle one pipeline across thousands of
+// trials instead of allocating each from scratch. Hooks are cleared, as in
+// Clone.
+func (p *Pipeline) ResetFrom(src *Pipeline) {
+	p.cfg = src.cfg
+	p.fq.copyFrom(&src.fq)
+	p.rob.copyFrom(&src.rob)
+	p.sched.copyFrom(&src.sched)
+	p.stq.copyFrom(&src.stq)
+	p.ldq.copyFrom(&src.ldq)
+	p.prf.copyFrom(&src.prf)
+	p.specRAT.copyFrom(&src.specRAT)
+	p.archRAT.copyFrom(&src.archRAT)
+	p.free.copyFrom(&src.free)
+	p.exec.copyFrom(&src.exec)
+	p.fetchPC = src.fetchPC
+	p.watchdog = src.watchdog
+	p.specHist = src.specHist
+	p.retiredHist = src.retiredHist
+
+	p.cycle = src.cycle
+	p.status = src.status
+	p.excKind = src.excKind
+	p.excPC = src.excPC
+	p.excAddr = src.excAddr
+	p.fetchStallUntil = src.fetchStallUntil
+	p.fetchFaulted = src.fetchFaulted
+	p.stats = src.stats
+
+	p.mem.CopyFrom(src.mem)
+	p.dir.CopyFrom(src.dir)
+	p.btb.CopyFrom(src.btb)
+	p.ras.CopyFrom(src.ras)
+	switch sc := src.conf.(type) {
+	case *predictor.JRS:
+		if dj, ok := p.conf.(*predictor.JRS); ok {
+			dj.CopyFrom(sc) // CopyFrom detaches the history source
+		} else {
+			nj := sc.Clone()
+			nj.(*predictor.JRS).SetHistorySource(nil)
+			p.conf = nj
+		}
+	default:
+		p.conf = src.conf.Clone()
+	}
+	if src.memdep != nil && p.memdep != nil {
+		p.memdep.CopyFrom(src.memdep)
+	} else if src.memdep != nil {
+		p.memdep = src.memdep.Clone()
+	} else {
+		p.memdep = nil
+	}
+	p.l1i.CopyFrom(src.l1i)
+	p.l1d.CopyFrom(src.l1d)
+	p.l2.CopyFrom(src.l2)
+	p.itlb.CopyFrom(src.itlb)
+	p.dtlb.CopyFrom(src.dtlb)
+
+	p.CommitHook = nil
+	p.BranchHook = nil
+	p.MissHook = nil
+}
+
 // Cycle advances the machine by one clock. Stages run in reverse order so
 // that results become visible to younger instructions one cycle later, as
 // in hardware.

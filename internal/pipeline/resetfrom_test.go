@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// ResetFrom is the clone pool's reset path: a recycled fork must be
+// indistinguishable from a fresh Clone of the master, including the state
+// that is NOT in the hashed state space (caches, predictors, confidence
+// estimator), whose divergence would show up as timing drift.
+func TestResetFromMatchesClone(t *testing.T) {
+	master := newBenchPipeline(t, workload.Vortex, DefaultConfig())
+	master.RunCycles(5000)
+
+	// A stale fork: cloned earlier, run far ahead, state thoroughly dirty.
+	fork := master.Clone()
+	fork.RunCycles(3000)
+	ref, _ := fork.State().NthBit(777)
+	fork.State().Flip(ref)
+	fork.Memory().WriteQ(0x10000, 0xBAD) // dirty a page too
+
+	master.RunCycles(1000) // master moves on as well
+
+	fork.ResetFrom(master)
+	if fork.State().Hash() != master.State().Hash() {
+		t.Fatal("reset fork's state hash differs from master")
+	}
+	if !fork.Memory().Equal(master.Memory()) {
+		t.Fatal("reset fork's memory differs from master")
+	}
+
+	// The reset fork must track a genuine clone cycle for cycle: any copy
+	// miss in the unhashed structures surfaces as timing divergence here.
+	clone := master.Clone()
+	for i := 0; i < 30; i++ {
+		fork.RunCycles(100)
+		clone.RunCycles(100)
+		if fork.State().Hash() != clone.State().Hash() {
+			t.Fatalf("reset fork diverged from clone after %d cycles", (i+1)*100)
+		}
+		if fork.Cycles() != clone.Cycles() || fork.Retired() != clone.Retired() {
+			t.Fatalf("counters diverged after %d cycles: cycles %d/%d retired %d/%d",
+				(i+1)*100, fork.Cycles(), clone.Cycles(), fork.Retired(), clone.Retired())
+		}
+	}
+	if !fork.Memory().Equal(clone.Memory()) {
+		t.Fatal("reset fork's memory diverged from clone")
+	}
+
+	// Independence: mutating the reset fork must not touch the master.
+	before := master.State().Hash()
+	ref2, _ := fork.State().NthBit(12345)
+	fork.State().Flip(ref2)
+	fork.RunCycles(50)
+	if master.State().Hash() != before {
+		t.Fatal("mutating the reset fork changed the master")
+	}
+}

@@ -427,3 +427,20 @@ func (e *execWindow) alloc() (int, bool) {
 	}
 	return 0, false
 }
+
+// ---------------------------------------------------------------------------
+// copyFrom: wholesale state copies for Pipeline.ResetFrom. Every structure
+// above is a pure value type (fixed-size arrays, no slices), so assignment
+// copies all of it. Routing the copies through owner methods keeps the
+// statemut write discipline intact: ResetFrom rewrites every registered
+// word, and these are the owners entitled to do that.
+
+func (q *fetchQueue) copyFrom(src *fetchQueue)       { *q = *src }
+func (r *reorderBuffer) copyFrom(src *reorderBuffer) { *r = *src }
+func (sc *scheduler) copyFrom(src *scheduler)        { *sc = *src }
+func (q *storeQueue) copyFrom(src *storeQueue)       { *q = *src }
+func (q *loadQueue) copyFrom(src *loadQueue)         { *q = *src }
+func (f *regFile) copyFrom(src *regFile)             { *f = *src }
+func (t *aliasTable) copyFrom(src *aliasTable)       { *t = *src }
+func (f *freeList) copyFrom(src *freeList)           { *f = *src }
+func (e *execWindow) copyFrom(src *execWindow)       { *e = *src }

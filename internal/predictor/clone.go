@@ -58,3 +58,79 @@ func (Perfect) Clone() ConfidenceEstimator { return Perfect{} }
 
 // Clone returns the null estimator itself (stateless).
 func (Never) Clone() ConfidenceEstimator { return Never{} }
+
+// CopyFrom support: campaign clone pools reset an already-allocated clone
+// back to the master's state instead of allocating a fresh Clone per trial.
+// Each CopyFrom reuses the receiver's tables when the geometries match.
+
+func copyCounters(dst *[]counter2, src []counter2) {
+	if len(*dst) != len(src) {
+		*dst = make([]counter2, len(src))
+	}
+	copy(*dst, src)
+}
+
+// CopyFrom makes b an exact copy of src, reusing b's table.
+func (b *Bimodal) CopyFrom(src *Bimodal) {
+	b.mask = src.mask
+	copyCounters(&b.table, src.table)
+}
+
+// CopyFrom makes g an exact copy of src, reusing g's table.
+func (g *Gshare) CopyFrom(src *Gshare) {
+	g.mask = src.mask
+	g.hist = src.hist
+	g.histBits = src.histBits
+	copyCounters(&g.table, src.table)
+}
+
+// CopyFrom makes c an exact copy of src, reusing c's tables.
+func (c *Combined) CopyFrom(src *Combined) {
+	c.mask = src.mask
+	c.bimodal.CopyFrom(src.bimodal)
+	c.gshare.CopyFrom(src.gshare)
+	copyCounters(&c.chooser, src.chooser)
+}
+
+// CopyFrom makes b an exact copy of src, reusing b's entry array.
+func (b *BTB) CopyFrom(src *BTB) {
+	b.ways = src.ways
+	b.sets = src.sets
+	if len(b.entries) != len(src.entries) {
+		b.entries = make([]btbEntry, len(src.entries))
+	}
+	copy(b.entries, src.entries)
+}
+
+// CopyFrom makes r an exact copy of src, reusing r's stack.
+func (r *RAS) CopyFrom(src *RAS) {
+	r.top = src.top
+	r.depth = src.depth
+	if len(r.stack) != len(src.stack) {
+		r.stack = make([]uint64, len(src.stack))
+	}
+	copy(r.stack, src.stack)
+}
+
+// CopyFrom makes j an exact copy of src's table and thresholds, reusing j's
+// table. The history source is cleared, matching Clone: the caller rebinds
+// it via SetHistorySource if the estimator should track a live predictor.
+func (j *JRS) CopyFrom(src *JRS) {
+	j.mask = src.mask
+	j.max = src.max
+	j.threshold = src.threshold
+	j.hist = nil
+	if len(j.table) != len(src.table) {
+		j.table = make([]uint8, len(src.table))
+	}
+	copy(j.table, src.table)
+}
+
+// CopyFrom makes m an exact copy of src, reusing m's table.
+func (m *MemDep) CopyFrom(src *MemDep) {
+	m.mask = src.mask
+	if len(m.table) != len(src.table) {
+		m.table = make([]uint8, len(src.table))
+	}
+	copy(m.table, src.table)
+}

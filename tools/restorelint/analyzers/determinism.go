@@ -17,7 +17,7 @@ import (
 // simulator is a pure function of its seeds.
 var Determinism = &lint.Analyzer{
 	Name: "determinism",
-	Doc:  "flags time.Now, the global math/rand RNG, and order-sensitive map iteration",
+	Doc:  "flags time.Now, the global math/rand RNG, RNGs shared with goroutines, and order-sensitive map iteration",
 	Run:  runDeterminism,
 }
 
@@ -29,6 +29,8 @@ func runDeterminism(pass *lint.Pass) {
 				checkNondeterministicCall(pass, n)
 			case *ast.RangeStmt:
 				checkMapRange(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineRNGCapture(pass, n)
 			}
 			return true
 		})
@@ -54,6 +56,57 @@ func checkNondeterministicCall(pass *lint.Pass, call *ast.CallExpr) {
 				sel.Sel.Name)
 		}
 	}
+}
+
+// checkGoroutineRNGCapture flags a goroutine closure that captures a
+// *rand.Rand declared outside it. Even a seeded generator stops being
+// reproducible the moment two goroutines share it: the interleaving of
+// draws is scheduler-dependent (and rand.Rand is not safe for concurrent
+// use at all). The campaign engine's rule is to pre-draw every random
+// decision on the dispatching goroutine and hand workers plain values.
+func checkGoroutineRNGCapture(pass *lint.Pass, gs *ast.GoStmt) {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || !isSeededRNG(obj.Type()) {
+			return true
+		}
+		if insideNode(obj.Pos(), lit) {
+			return true // declared inside the closure: goroutine-local
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(),
+			"goroutine closure captures the *rand.Rand %q, making the draw interleaving scheduler-dependent; pre-draw random values on the dispatching goroutine",
+			id.Name)
+		return true
+	})
+}
+
+// isSeededRNG reports whether t is *math/rand.Rand or *math/rand/v2.Rand.
+func isSeededRNG(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Rand" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
 }
 
 // checkMapRange inspects one range-over-map loop for order-sensitive sinks.

@@ -37,3 +37,14 @@ func appendOverMap(m map[string]int) []string {
 	}
 	return keys
 }
+
+func rngAcrossGoroutines(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	done := make(chan struct{})
+	go func() {
+		_ = rng.Intn(100) // want "goroutine closure captures the .rand.Rand .rng."
+		_ = rng.Int63()   // deduplicated: one report per captured generator
+		close(done)
+	}()
+	<-done
+}

@@ -46,3 +46,30 @@ func localAccum(m map[string]float64) bool {
 func timestamp() time.Time {
 	return time.Now() //restorelint:ignore determinism -- log decoration only, never fed back into simulation
 }
+
+// Pre-drawn values may cross goroutine boundaries; only the generator
+// itself must stay on the dispatching goroutine.
+func preDrawnAcrossGoroutines(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	picks := make([]int, 8)
+	for i := range picks {
+		picks[i] = rng.Intn(100)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = picks[0]
+		close(done)
+	}()
+	<-done
+}
+
+// A generator created inside the goroutine is goroutine-local.
+func goroutineLocalRNG(seed int64) {
+	done := make(chan struct{})
+	go func() {
+		local := rand.New(rand.NewSource(seed))
+		_ = local.Intn(100)
+		close(done)
+	}()
+	<-done
+}
