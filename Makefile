@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench clean
+.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench telemetry clean
 
 all: build test lint
 
@@ -53,6 +53,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Runs a small instrumented campaign plus a traced ReStore run and prints
+# the telemetry (internal/obs); the program itself re-proves the inertness
+# contract before printing anything.
+telemetry:
+	$(GO) run ./examples/telemetry
 
 clean:
 	$(GO) clean ./...

@@ -33,6 +33,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -pprof
 	"os"
 	"runtime"
 	"strings"
@@ -43,6 +45,7 @@ import (
 	"repro/internal/fit"
 	"repro/internal/harden"
 	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/restore"
 	"repro/internal/staticvuln"
@@ -85,6 +88,8 @@ func run(args []string) error {
 		perBench = fs.Bool("perbench", false, "append per-benchmark breakdowns")
 		workers  = fs.Int("workers", 0, "goroutines per campaign (0 = serial, -1 = all CPUs); results are identical either way")
 		progress = fs.Bool("progress", false, "print a live trial counter with ETA to stderr")
+		metrics  = fs.String("metrics", "", "write campaign/pipeline telemetry to this file after the run (.json, .csv, else Prometheus text); results are identical either way")
+		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n\n")
@@ -121,8 +126,33 @@ func run(args []string) error {
 			c.opts.Benchmarks = append(c.opts.Benchmarks, workload.Benchmark(strings.TrimSpace(name)))
 		}
 	}
+	if *pprof != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "restore-sim: pprof:", err)
+			}
+		}()
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		c.opts.Obs = reg
+	}
 
-	switch fs.Arg(0) {
+	if err := c.dispatch(fs, fs.Arg(0)); err != nil {
+		return err
+	}
+	if reg != nil {
+		if err := reg.Snapshot().WriteFile(*metrics); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *cli) dispatch(fs *flag.FlagSet, experiment string) error {
+	switch experiment {
 	case "fig2":
 		return c.fig2(false)
 	case "fig2-low32":
@@ -159,7 +189,7 @@ func run(args []string) error {
 		return c.all()
 	default:
 		fs.Usage()
-		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
+		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 }
 
@@ -503,6 +533,7 @@ func (c *cli) demo() error {
 	}
 	rep, err := experiments.MeasureRestoreRun(bench, c.opts.Seed, 200_000, restore.Config{
 		Interval: c.interval,
+		Obs:      c.opts.Obs,
 	})
 	if err != nil {
 		return err

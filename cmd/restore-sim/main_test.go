@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,6 +46,53 @@ func TestRunPerBenchAndCSV(t *testing.T) {
 	}
 	if err := run([]string{"-trials", "0.05", "-scale", "0.5", "-bench", "gzip", "-csv", "fig2"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunMetricsFlag(t *testing.T) {
+	dir := t.TempDir()
+
+	prom := filepath.Join(dir, "campaign.prom")
+	args := append([]string{"-metrics", prom}, tinyArgs("fig4")...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE campaign_uarch_trials_total counter", "pipeline_rob_occupancy_bucket"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics file missing %q:\n%s", want, data)
+		}
+	}
+
+	// The extension selects the format; .json must parse.
+	jsonPath := filepath.Join(dir, "campaign.json")
+	args = append([]string{"-metrics", jsonPath}, tinyArgs("fig4")...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Error("metrics JSON has no metrics")
+	}
+
+	// An unwritable path must surface as an error, not a silent run.
+	args = append([]string{"-metrics", filepath.Join(dir, "no", "such", "dir.prom")}, tinyArgs("fig4")...)
+	if err := run(args); err == nil || !strings.Contains(err.Error(), "metrics") {
+		t.Errorf("unwritable metrics path: err = %v", err)
 	}
 }
 

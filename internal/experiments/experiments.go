@@ -11,6 +11,7 @@ import (
 	"repro/internal/fit"
 	"repro/internal/harden"
 	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/restore"
@@ -37,6 +38,15 @@ type Options struct {
 	// campaign; with Workers > 1 it is called from worker goroutines and
 	// must be safe for concurrent use.
 	Progress func(done, total int)
+	// Obs, if non-nil, receives campaign/pipeline telemetry from every
+	// campaign an experiment runs (see internal/obs). Purely
+	// observational: experiment results are byte-identical with or
+	// without a sink.
+	Obs obs.Sink
+	// Pipeline optionally overrides the processor configuration for
+	// microarchitectural campaigns (tests use a tiny WatchdogCycles to
+	// force truncated campaigns; nil = pipeline.DefaultConfig).
+	Pipeline *pipeline.Config
 }
 
 func (o *Options) applyDefaults() {
@@ -84,14 +94,15 @@ func Fig2(opts Options, low32 bool) (*Fig2Result, error) {
 	}
 	for _, bench := range opts.Benchmarks {
 		r, err := inject.RunVM(inject.VMConfig{
-			Bench:  bench,
-			Seed:   opts.Seed,
-			Scale:  opts.Scale,
+			Bench:    bench,
+			Seed:     opts.Seed,
+			Scale:    opts.Scale,
 			Trials:   scaleCount(1000, opts.TrialFactor, 40),
 			Window:   100_000,
 			Low32:    low32,
 			Workers:  opts.Workers,
 			Progress: opts.Progress,
+			Obs:      opts.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig2 %s: %w", bench, err)
@@ -150,8 +161,10 @@ func Campaign(opts Options, cc CampaignConfig) (*UArchExperiment, error) {
 			WindowCycles:   10_000,
 			LatchesOnly:    cc.LatchesOnly,
 			Harden:         cc.Harden,
+			Pipeline:       opts.Pipeline,
 			Workers:        opts.Workers,
 			Progress:       opts.Progress,
+			Obs:            opts.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("uarch campaign %s: %w", bench, err)

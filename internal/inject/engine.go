@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -52,11 +53,23 @@ type engine struct {
 	// completed counts finished trials for progress reporting; it never
 	// influences results.
 	completed atomic.Int64
+
+	// Write-only telemetry (nil handles when the campaign runs without a
+	// sink): wall-clock time workers spend inside trials, and the queue
+	// depth seen at each submit — together they show whether the dispatcher
+	// (golden-trace recording) or the workers are the bottleneck.
+	busy  *obs.Timer
+	depth *obs.Hist
 }
 
 // newEngine returns an engine with the given worker count (<= 1 = serial).
-func newEngine(workers int) *engine {
-	e := &engine{}
+// sink may be nil; prefix namespaces the engine's metrics per campaign type
+// (e.g. "campaign_uarch" yields campaign_uarch_worker_busy).
+func newEngine(workers int, sink obs.Sink, prefix string) *engine {
+	e := &engine{
+		busy:  sink.Timer(prefix + "_worker_busy"),
+		depth: sink.Hist(prefix + "_queue_depth"),
+	}
 	if workers <= 1 {
 		return e
 	}
@@ -70,7 +83,9 @@ func newEngine(workers int) *engine {
 		go func() {
 			defer e.wg.Done()
 			for t := range tasks {
+				sw := e.busy.Start()
 				t()
+				sw.Stop()
 			}
 		}()
 	}
@@ -80,9 +95,12 @@ func newEngine(workers int) *engine {
 // submit runs t inline (serial engine) or enqueues it for a worker.
 func (e *engine) submit(t func()) {
 	if e.tasks == nil {
+		sw := e.busy.Start()
 		t()
+		sw.Stop()
 		return
 	}
+	e.depth.Observe(int64(len(e.tasks)))
 	e.tasks <- t
 }
 
@@ -110,17 +128,23 @@ func (e *engine) done(progress func(done, total int), total int) {
 
 // clonePool recycles per-trial pipeline forks. acquire must be called from
 // the dispatching goroutine (it reads the master); release may be called
-// from any worker.
+// from any worker. The hit/miss counters (nil without a sink) expose the
+// recycling rate: a high miss count means workers are not returning clones
+// fast enough and the pool is allocating fresh ones.
 type clonePool struct {
-	pool sync.Pool
+	pool   sync.Pool
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 func (cp *clonePool) acquire(master *pipeline.Pipeline) *pipeline.Pipeline {
 	if v := cp.pool.Get(); v != nil {
+		cp.hits.Inc()
 		f := v.(*pipeline.Pipeline)
 		f.ResetFrom(master)
 		return f
 	}
+	cp.misses.Inc()
 	return master.Clone()
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -13,6 +14,9 @@ import (
 // The campaign engine's contract: results are a pure function of the
 // configuration, bit-identical however many workers run the trials. These
 // tests pin that across the whole benchmark suite for both campaign levels.
+// The parallel side runs with a metrics sink attached, so every benchmark
+// also witnesses the inertness contract: instrumented-parallel results must
+// equal bare-serial results exactly.
 
 func TestUArchParallelMatchesSerial(t *testing.T) {
 	for _, bench := range workload.Benchmarks() {
@@ -24,8 +28,10 @@ func TestUArchParallelMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			reg := obs.NewRegistry()
 			parCfg := smallUArch(bench)
 			parCfg.Workers = 8
+			parCfg.Obs = reg
 			par, err := RunUArch(parCfg)
 			if err != nil {
 				t.Fatal(err)
@@ -43,6 +49,9 @@ func TestUArchParallelMatchesSerial(t *testing.T) {
 			if serial.TotalBits != par.TotalBits || serial.LatchBits != par.LatchBits {
 				t.Errorf("state-space sizes differ between engines")
 			}
+			if got := reg.Counter("campaign_uarch_trials_total").Value(); got != int64(len(par.Trials)) {
+				t.Errorf("trials_total = %d, want %d", got, len(par.Trials))
+			}
 		})
 	}
 }
@@ -56,8 +65,10 @@ func TestVMParallelMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			reg := obs.NewRegistry()
 			parCfg := smallVM(bench, false)
 			parCfg.Workers = 8
+			parCfg.Obs = reg
 			par, err := RunVM(parCfg)
 			if err != nil {
 				t.Fatal(err)
@@ -71,6 +82,9 @@ func TestVMParallelMatchesSerial(t *testing.T) {
 					t.Fatalf("trial %d differs:\nserial:   %+v\nparallel: %+v",
 						i, serial.Trials[i], par.Trials[i])
 				}
+			}
+			if got := reg.Counter("campaign_vm_trials_total").Value(); got != int64(len(par.Trials)) {
+				t.Errorf("trials_total = %d, want %d", got, len(par.Trials))
 			}
 		})
 	}
@@ -111,8 +125,10 @@ func TestUArchProgressReporting(t *testing.T) {
 // partial result with the state-space survey populated instead of an error.
 func TestUArchTruncatedCampaign(t *testing.T) {
 	for _, workers := range []int{0, 8} {
+		reg := obs.NewRegistry()
 		cfg := smallUArch(workload.MCF)
 		cfg.Workers = workers
+		cfg.Obs = reg
 		pcfg := pipeline.DefaultConfig()
 		// Small enough that a cold-cache miss chain trips it during
 		// warm-up (the suite's workloads never halt, so the watchdog is
@@ -134,6 +150,12 @@ func TestUArchTruncatedCampaign(t *testing.T) {
 		}
 		if r.TotalBits == 0 || r.LatchBits == 0 {
 			t.Errorf("workers=%d: truncated result missing state-space survey", workers)
+		}
+		if got := reg.Counter("campaign_uarch_truncated_total").Value(); got != 1 {
+			t.Errorf("workers=%d: truncated_total = %d, want 1", workers, got)
+		}
+		if got := reg.Counter("campaign_uarch_trials_total").Value(); got != int64(len(r.Trials)) {
+			t.Errorf("workers=%d: trials_total = %d, want %d", workers, got, len(r.Trials))
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/harden"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -64,6 +65,13 @@ type UArchConfig struct {
 	// worker goroutines and must be safe for concurrent use. It must not
 	// influence campaign state.
 	Progress func(done, total int)
+
+	// Obs, if non-nil, receives campaign telemetry under the
+	// campaign_uarch_* namespace, plus per-stage pipeline counters and
+	// occupancy histograms from the master pipeline under pipeline_*.
+	// Purely observational: results are byte-identical with or without a
+	// sink.
+	Obs obs.Sink
 }
 
 func (c *UArchConfig) applyDefaults() {
@@ -159,6 +167,11 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-stage counters and occupancy histograms track the master (warm-up
+	// walk + golden recording); per-trial clones never inherit the
+	// attachment (Clone/ResetFrom drop it).
+	master.AttachObs(cfg.Obs, "pipeline")
+	wall := cfg.Obs.Timer("campaign_uarch_wall").Start()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0A12C4))
 
 	// Injection points as cycle offsets past warm-up, visited in order.
@@ -201,11 +214,15 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	if master.Status() != pipeline.StatusRunning {
 		// The program ended inside warm-up: nothing to inject into.
 		result.Trials = []UArchTrial{}
+		recordUArchTelemetry(cfg.Obs, result, true, wall.Stop())
 		return result, nil
 	}
 
-	eng := newEngine(cfg.Workers)
-	var pool clonePool
+	eng := newEngine(cfg.Workers, cfg.Obs, "campaign_uarch")
+	pool := clonePool{
+		hits:   cfg.Obs.Counter("campaign_uarch_clone_pool_hits_total"),
+		misses: cfg.Obs.Counter("campaign_uarch_clone_pool_misses_total"),
+	}
 	trials := make([]UArchTrial, len(picks))
 	totalTrials := len(picks)
 	pointsRun := 0
@@ -275,6 +292,7 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	}
 	eng.wait()
 	result.Trials = trials[:pointsRun*cfg.TrialsPerPoint]
+	recordUArchTelemetry(cfg.Obs, result, pointsRun < cfg.Points, wall.Stop())
 	return result, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -52,6 +53,12 @@ type VMConfig struct {
 	// worker goroutines and must be safe for concurrent use. It must not
 	// influence campaign state.
 	Progress func(done, total int)
+
+	// Obs, if non-nil, receives campaign telemetry (trial/outcome counts,
+	// throughput, pool and queue accounting) under the campaign_vm_*
+	// namespace. Purely observational: results are byte-identical with or
+	// without a sink.
+	Obs obs.Sink
 }
 
 func (c *VMConfig) applyDefaults() {
@@ -85,7 +92,13 @@ type VMResult struct {
 }
 
 // MaskedFraction returns the fraction of trials whose faults were masked.
+// A campaign truncated down to zero trials (golden program halts before the
+// first injection point) has no evidence either way and reports 0, not NaN
+// — the same convention as FailureRate/RawFailureRate.
 func (r *VMResult) MaskedFraction() float64 {
+	if len(r.Trials) == 0 {
+		return 0
+	}
 	masked := 0
 	for _, t := range r.Trials {
 		if t.Masked {
@@ -150,7 +163,8 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	}
 
 	result := &VMResult{Config: cfg}
-	eng := newEngine(cfg.Workers)
+	wall := cfg.Obs.Timer("campaign_vm_wall").Start()
+	eng := newEngine(cfg.Workers, cfg.Obs, "campaign_vm")
 	parallel := cfg.Workers > 1
 	trials := make([]VMTrial, cfg.Trials)
 	// Workers hold references into the golden slice while the dispatcher
@@ -160,8 +174,11 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	if !parallel {
 		golden = make([]arch.Event, 0, cfg.Window)
 	}
-	// memPool recycles per-trial memory images for the parallel engine.
+	// memPool recycles per-trial memory images for the parallel engine; the
+	// counters (nil without a sink) expose its recycling rate.
 	var memPool sync.Pool
+	poolHits := cfg.Obs.Counter("campaign_vm_mem_pool_hits_total")
+	poolMisses := cfg.Obs.Counter("campaign_vm_mem_pool_misses_total")
 
 	filled := 0
 	truncated := false
@@ -241,9 +258,11 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 				bit := bits[slot]
 				var fm *mem.Memory
 				if v := memPool.Get(); v != nil {
+					poolHits.Inc()
 					fm = v.(*mem.Memory)
 					fm.CopyFrom(m)
 				} else {
+					poolMisses.Inc()
 					fm = m.Clone()
 				}
 				fsim := arch.New(fm, prog.Entry)
@@ -286,6 +305,9 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	}
 	eng.wait()
 	result.Trials = trials[:filled]
+	// filled < Trials covers both truncation paths (halt before a point and
+	// halt inside a window).
+	recordVMTelemetry(cfg.Obs, result, filled < cfg.Trials, wall.Stop())
 	return result, nil
 }
 

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as rows of name,kind,value,count; histogram
+// buckets follow their metric as extra rows with the bound spliced into the
+// name (name{le=N}).
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "kind", "value", "count"}); err != nil {
+		return err
+	}
+	for _, m := range s.Metrics {
+		row := []string{m.Name, m.Kind, formatFloat(m.Value), strconv.FormatInt(m.Count, 10)}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+		for _, b := range m.Buckets {
+			row := []string{
+				m.Name + "{le=" + formatFloat(b.Le) + "}",
+				"bucket", strconv.FormatInt(b.Count, 10), "",
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Timers export as histograms in seconds with a
+// single +Inf bucket; metric names are sanitised to the Prometheus charset.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range s.Metrics {
+		name := promName(m.Name)
+		switch m.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, formatFloat(m.Value)); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.Value)); err != nil {
+				return err
+			}
+		case "histogram", "timer":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			buckets := m.Buckets
+			if len(buckets) == 0 {
+				buckets = []BucketCount{{Le: math.Inf(1), Count: m.Count}}
+			}
+			for _, b := range buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promLe(b.Le), b.Count); err != nil {
+					return err
+				}
+			}
+			if last := buckets[len(buckets)-1]; !math.IsInf(last.Le, 1) {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, m.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(m.Value), name, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTo writes the snapshot to w in the named format: "json", "csv" or
+// "prom" (Prometheus text).
+func (s Snapshot) WriteTo(w io.Writer, format string) error {
+	switch format {
+	case "json":
+		return s.WriteJSON(w)
+	case "csv":
+		return s.WriteCSV(w)
+	case "prom":
+		return s.WritePrometheus(w)
+	default:
+		return fmt.Errorf("obs: unknown export format %q (want json, csv or prom)", format)
+	}
+}
+
+// WriteFile writes the snapshot to path, choosing the format from the
+// extension: .json, .csv, or Prometheus text for anything else (.prom,
+// .txt, extension-less).
+func (s Snapshot) WriteFile(path string) error {
+	format := "prom"
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		format = "json"
+	case ".csv":
+		format = "csv"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteTo(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// formatFloat renders v with the shortest round-trip representation —
+// deterministic across runs and platforms.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLe renders a bucket bound for the Prometheus le label.
+func promLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName maps a metric name onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exportRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("campaign_trials_total").Add(42)
+	r.Gauge("campaign_trials_per_second").Set(123.5)
+	h := r.Hist("pipeline_rob_occupancy")
+	h.Observe(0)
+	h.Observe(5)
+	r.Timer("campaign_wall").Observe(1500 * time.Millisecond)
+	return r
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(back.Metrics) != 4 {
+		t.Fatalf("round-trip kept %d metrics, want 4", len(back.Metrics))
+	}
+	if m, ok := back.Get("campaign_trials_total"); !ok || m.Value != 42 {
+		t.Fatalf("counter lost in round trip: %+v", m)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().Snapshot().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "name,kind,value,count\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	for _, want := range []string{
+		"campaign_trials_total,counter,42,0",
+		"campaign_trials_per_second,gauge,123.5,0",
+		"pipeline_rob_occupancy,histogram,5,2",
+		"pipeline_rob_occupancy{le=0},bucket,1,",
+		"campaign_wall,timer,1.5,1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE campaign_trials_total counter\ncampaign_trials_total 42\n",
+		"# TYPE campaign_trials_per_second gauge\ncampaign_trials_per_second 123.5\n",
+		"# TYPE pipeline_rob_occupancy histogram\n",
+		"pipeline_rob_occupancy_bucket{le=\"0\"} 1",
+		"pipeline_rob_occupancy_bucket{le=\"+Inf\"} 2",
+		"pipeline_rob_occupancy_sum 5\npipeline_rob_occupancy_count 2\n",
+		"campaign_wall_bucket{le=\"+Inf\"} 1",
+		"campaign_wall_sum 1.5\ncampaign_wall_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	snap := exportRegistry().Snapshot()
+	cases := []struct {
+		file string
+		want string // sniff string proving the right format was chosen
+	}{
+		{"m.json", "\"metrics\""},
+		{"m.csv", "name,kind,value,count"},
+		{"m.prom", "# TYPE"},
+		{"metrics", "# TYPE"}, // extension-less defaults to Prometheus text
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.file)
+		if err := snap.WriteFile(path); err != nil {
+			t.Fatalf("WriteFile(%s): %v", c.file, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), c.want) {
+			t.Errorf("%s: expected %q in output:\n%s", c.file, c.want, data)
+		}
+	}
+}
+
+func TestWriteToUnknownFormat(t *testing.T) {
+	var b strings.Builder
+	if err := (Snapshot{}).WriteTo(&b, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := promName("vm.pool-hits/total"); got != "vm_pool_hits_total" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("9lives"); got != "_lives" {
+		t.Fatalf("promName leading digit = %q", got)
+	}
+}

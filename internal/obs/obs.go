@@ -1,0 +1,355 @@
+// Package obs is the simulator's observability layer: a registry of named
+// counters, gauges, histograms and timers, plus a bounded trace ring for
+// discrete events. Campaigns, the pipeline and the ReStore processor write
+// into it; cmd/restore-sim and examples read it out as JSON, CSV or
+// Prometheus text.
+//
+// Two properties shape the whole design:
+//
+//   - Inertness. Instrumentation must never change simulation results: a
+//     campaign with metrics on is byte-identical to one with metrics off.
+//     Simulator packages therefore only ever *write* (Inc/Add/Set/Observe);
+//     reads (Value/Count/Snapshot/...) are reserved for cmd/, examples/ and
+//     tests, and the restorelint determinism analyzer flags reads inside
+//     simulator packages.
+//
+//   - Nil safety. Every handle and the registry itself are usable as nil:
+//     all write methods on nil receivers are no-ops. Configs thread a
+//     single `Sink` (a *Registry, possibly nil) with zero branches at the
+//     instrumentation sites, so "metrics off" costs one nil check per
+//     operation and nothing else.
+//
+// Wall-clock reads are confined to this package (the `now` variable), which
+// is why obs is deliberately excluded from restorelint's determinism scope:
+// timers measure the host, never the simulated machine.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// now is the package's single wall-clock source; tests override it to make
+// timer arithmetic deterministic.
+var now = time.Now
+
+// Counter is a monotonically increasing integer metric. Safe for concurrent
+// use (campaign workers increment without coordination); a nil Counter
+// ignores writes.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. Simulator packages must not call this
+// (restorelint's determinism analyzer enforces it); it exists for exporters
+// and tests.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float metric (e.g. trials/sec). A nil Gauge
+// ignores writes.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set (0 if never set). Exporter/test-only,
+// like Counter.Value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets covers non-negative integer observations in power-of-two
+// buckets: bucket i counts values v with 2^(i-1) <= v < 2^i (bucket 0 is
+// exactly v == 0), saturating at the last bucket. 40 buckets reach ~5.5e11,
+// comfortably beyond any occupancy, depth or latency the simulator emits.
+const histBuckets = 40
+
+// Hist is a fixed-bucket power-of-two histogram of non-negative integers
+// (queue depths, occupancies, rollback distances). Concurrency-safe; a nil
+// Hist ignores writes.
+type Hist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v)) // 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations. Exporter/test-only.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values. Exporter/test-only.
+func (h *Hist) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns cumulative bucket counts with their upper bounds
+// (Prometheus `le` semantics; the final bound is +Inf). Exporter/test-only.
+func (h *Hist) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketCount, 0, histBuckets)
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 && i > 0 {
+			continue // sparse export: only materialised buckets
+		}
+		cum += n
+		out = append(out, BucketCount{Le: bucketBound(i), Count: cum})
+	}
+	return out
+}
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)) - 1
+}
+
+// BucketCount is one cumulative histogram bucket: the count of observations
+// with value <= Le.
+type BucketCount struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Timer accumulates wall-clock durations (worker busy time, campaign wall
+// time). Only Observe/Start touch the clock, and only through this
+// package's `now`. A nil Timer ignores writes.
+type Timer struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.count.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Start returns a running Stopwatch whose Stop records into t. Start on a
+// nil Timer returns an inert Stopwatch (Stop returns 0 without reading the
+// clock), so `defer sink.Timer(...).Start().Stop()` style code needs no
+// guard.
+func (t *Timer) Start() Stopwatch {
+	if t == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, start: now()}
+}
+
+// Count returns the number of recorded durations. Exporter/test-only.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration. Exporter/test-only.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Stopwatch is a single in-flight Timer measurement.
+type Stopwatch struct {
+	t     *Timer
+	start time.Time
+}
+
+// Stop records the elapsed time into the parent Timer and returns it. On an
+// inert Stopwatch (from a nil Timer) it returns 0.
+func (s Stopwatch) Stop() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := now().Sub(s.start)
+	s.t.Observe(d)
+	return d
+}
+
+// Registry is a namespace of metrics. Lookups auto-create: asking for a
+// counter that does not exist yet registers it, so instrumented code never
+// pre-declares anything. Handle creation takes a mutex; the returned
+// handles themselves are lock-free atomics. All methods are nil-safe and
+// return nil handles (whose writes are no-ops), which is what makes a nil
+// Sink equivalent to "metrics off".
+type Registry struct {
+	mu       sync.Mutex
+	kinds    map[string]string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Hist
+	timers   map[string]*Timer
+}
+
+// Sink is what instrumented code accepts: a possibly-nil metric registry.
+// It is an alias (not an interface) so nil threads through configs and
+// struct fields with zero adaptation.
+type Sink = *Registry
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    make(map[string]string),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Hist),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// claim records name as the given kind, panicking on a cross-kind clash —
+// that is always a programming error, and silently aliasing would corrupt
+// exports.
+func (r *Registry) claim(name, kind string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "counter")
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gauge")
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "histogram")
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "timer")
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// names returns all registered metric names, sorted — the deterministic
+// iteration order every exporter uses.
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.kinds))
+	for name := range r.kinds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock installs a deterministic clock advancing `step` per read and
+// returns a restore func.
+func fakeClock(step time.Duration) func() {
+	t := time.Unix(0, 0)
+	now = func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+	return func() { now = time.Now }
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("trials")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("trials") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("rate")
+	g.Set(2.5)
+	g.Set(1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every write path through a nil sink must be a silent no-op.
+	r.Counter("a").Inc()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1)
+	r.Hist("c").Observe(7)
+	r.Timer("d").Observe(time.Second)
+	sw := r.Timer("d").Start()
+	if d := sw.Stop(); d != 0 {
+		t.Fatalf("nil stopwatch elapsed %v, want 0", d)
+	}
+	if n := len(r.Snapshot().Metrics); n != 0 {
+		t.Fatalf("nil registry snapshot has %d metrics", n)
+	}
+	var tr *Trace
+	tr.Emit("ev", F("k", 1))
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil trace retained events")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestHistBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Hist("occ")
+	for _, v := range []int64{0, 0, 1, 2, 3, 7, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 1013 {
+		t.Fatalf("sum = %d, want 1013", h.Sum())
+	}
+	// Cumulative bounds: le=0 counts the two zeros plus the clamped -5.
+	bks := h.Buckets()
+	want := map[float64]int64{0: 3, 1: 4, 3: 6, 7: 7, 1023: 8}
+	for _, b := range bks {
+		if w, ok := want[b.Le]; ok && b.Count != w {
+			t.Errorf("bucket le=%v count=%d, want %d", b.Le, b.Count, w)
+		}
+	}
+	if last := bks[len(bks)-1]; last.Count != 8 {
+		t.Fatalf("final cumulative bucket = %d, want 8", last.Count)
+	}
+}
+
+func TestTimerUsesPackageClock(t *testing.T) {
+	defer fakeClock(10 * time.Millisecond)()
+	r := NewRegistry()
+	tm := r.Timer("busy")
+	sw := tm.Start()
+	if d := sw.Stop(); d != 10*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 10ms", d)
+	}
+	tm.Observe(5 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 15*time.Millisecond {
+		t.Fatalf("timer count=%d total=%v, want 2/15ms", tm.Count(), tm.Total())
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(10)
+	r.Gauge("g").Set(3)
+	r.Hist("h").Observe(4)
+	before := r.Snapshot()
+
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(9)
+	r.Hist("h").Observe(4)
+	r.Hist("h").Observe(100)
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if m, _ := d.Get("c"); m.Value != 5 {
+		t.Fatalf("counter diff = %v, want 5", m.Value)
+	}
+	if m, _ := d.Get("g"); m.Value != 9 {
+		t.Fatalf("gauge diff = %v, want current value 9", m.Value)
+	}
+	m, _ := d.Get("h")
+	if m.Count != 2 || m.Value != 104 {
+		t.Fatalf("hist diff count=%d sum=%v, want 2/104", m.Count, m.Value)
+	}
+	// The final bucket of the diff must count exactly the new observations,
+	// including the 100 that landed in a bucket `before` never materialised
+	// (export is sparse, so the last bound is 127 = the bucket holding 100).
+	last := m.Buckets[len(m.Buckets)-1]
+	if last.Le != 127 || last.Count != 2 {
+		t.Fatalf("diff final bucket le=%v count=%d, want 127/2", last.Le, last.Count)
+	}
+}
+
+func TestSnapshotOrderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n).Inc()
+	}
+	s := r.Snapshot()
+	for i, want := range []string{"alpha", "mid", "zeta"} {
+		if s.Metrics[i].Name != want {
+			t.Fatalf("metric[%d] = %q, want %q", i, s.Metrics[i].Name, want)
+		}
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("n").Inc()
+				r.Hist("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Hist("h").Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTrace(3)
+	for i := int64(1); i <= 5; i++ {
+		tr.Emit("e", F("i", i))
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if evs[i].Fields[0].Value != want {
+			t.Fatalf("event[%d] = %d, want %d (oldest-first order)", i, evs[i].Fields[0].Value, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	want := "e i=3\ne i=4\ne i=5\n"
+	if got := tr.Render(); got != want {
+		t.Fatalf("render = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+// Snapshot is a point-in-time copy of every metric in a registry, in sorted
+// name order. Snapshots are plain data: taking one does not disturb the
+// registry, and two snapshots can be diffed to isolate a phase (e.g. "what
+// did this one campaign add on top of the warm-up").
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric is one exported metric. Value carries the kind's scalar: the count
+// for counters, the last value for gauges, the sum for histograms, and total
+// seconds for timers. Count and Buckets are populated for histograms and
+// timers only (timers export a single +Inf bucket).
+type Metric struct {
+	Name    string        `json:"name"`
+	Kind    string        `json:"kind"` // counter | gauge | histogram | timer
+	Value   float64       `json:"value"`
+	Count   int64         `json:"count,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric. Safe to
+// call while writers are active (each atomic is read once; the snapshot is
+// per-metric consistent, not globally). A nil registry yields an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, name := range r.names() {
+		switch r.kinds[name] {
+		case "counter":
+			s.Metrics = append(s.Metrics, Metric{
+				Name: name, Kind: "counter",
+				Value: float64(r.counters[name].Value()),
+			})
+		case "gauge":
+			s.Metrics = append(s.Metrics, Metric{
+				Name: name, Kind: "gauge",
+				Value: r.gauges[name].Value(),
+			})
+		case "histogram":
+			h := r.hists[name]
+			s.Metrics = append(s.Metrics, Metric{
+				Name: name, Kind: "histogram",
+				Value:   float64(h.Sum()),
+				Count:   h.Count(),
+				Buckets: h.Buckets(),
+			})
+		case "timer":
+			t := r.timers[name]
+			s.Metrics = append(s.Metrics, Metric{
+				Name: name, Kind: "timer",
+				Value: t.Total().Seconds(),
+				Count: t.Count(),
+			})
+		}
+	}
+	return s
+}
+
+// Get returns the named metric from the snapshot.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Diff returns s minus prev: cumulative kinds (counters, histograms,
+// timers) have prev's counts subtracted, gauges keep their current value
+// (a gauge is already instantaneous). Metrics absent from prev pass through
+// unchanged; metrics absent from s are dropped. Diffing snapshots from the
+// same registry isolates what happened between the two captures.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	var out Snapshot
+	for _, m := range s.Metrics {
+		p, ok := prev.Get(m.Name)
+		if !ok || p.Kind != m.Kind || m.Kind == "gauge" {
+			out.Metrics = append(out.Metrics, m)
+			continue
+		}
+		d := m
+		d.Value -= p.Value
+		d.Count -= p.Count
+		if len(m.Buckets) > 0 {
+			d.Buckets = diffBuckets(m.Buckets, p.Buckets)
+		}
+		out.Metrics = append(out.Metrics, d)
+	}
+	return out
+}
+
+// diffBuckets subtracts prev's cumulative bucket counts from cur's. Both
+// sides are sorted by upper bound, and because export is sparse the right
+// subtrahend for a cur bucket is prev's cumulative count at the largest
+// bound not exceeding it (prev's cumulative curve is flat across bounds it
+// did not materialise).
+func diffBuckets(cur, prev []BucketCount) []BucketCount {
+	out := make([]BucketCount, 0, len(cur))
+	j := 0
+	prevCum := int64(0)
+	for _, b := range cur {
+		for j < len(prev) && prev[j].Le <= b.Le {
+			prevCum = prev[j].Count
+			j++
+		}
+		b.Count -= prevCum
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Trace is a bounded ring of discrete events — the symptom/rollback log of
+// a ReStore run. When the ring is full the oldest event is dropped and
+// counted, so a runaway symptom storm costs memory proportional to the
+// capacity, never the run length. Emit is nil-safe (a nil *Trace discards),
+// so configs carry an optional trace with no branches at the emit sites.
+type Trace struct {
+	mu      sync.Mutex
+	cap     int
+	start   int
+	events  []Event
+	dropped int64
+}
+
+// Event is one traced occurrence: a name plus ordered integer fields.
+// Fields stay ordered (not a map) so rendering is deterministic.
+type Event struct {
+	Name   string  `json:"name"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Field is one key/value pair on an event.
+type Field struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// F builds a Field; it exists to keep emit sites short:
+// tr.Emit("rollback", obs.F("depth", 12)).
+func F(key string, value int64) Field {
+	return Field{Key: key, Value: value}
+}
+
+// NewTrace returns a trace retaining at most capacity events (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{cap: capacity}
+}
+
+// Emit appends an event, evicting the oldest if the ring is full.
+func (t *Trace) Emit(name string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := Event{Name: name, Fields: fields}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.start] = ev
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Events returns the retained events, oldest first. Exporter/test-only, as
+// with metric reads.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Dropped returns how many events were evicted. Exporter/test-only.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Render formats the retained events one per line:
+//
+//	rollback depth=12 latency=48
+func (t *Trace) Render() string {
+	var b strings.Builder
+	for _, ev := range t.Events() {
+		b.WriteString(ev.Name)
+		for _, f := range ev.Fields {
+			fmt.Fprintf(&b, " %s=%d", f.Key, f.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

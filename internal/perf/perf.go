@@ -146,6 +146,11 @@ func MeasureSweep(benches []workload.Benchmark, seed int64, insts uint64,
 	if policy == restore.PolicyDelayed {
 		s.Name = "simulated-delayed"
 	}
+	if len(benches) == 0 {
+		// A sweep over no benchmarks has no mean to report; returning the
+		// empty series beats filling it with 0/0 = NaN points.
+		return s, nil
+	}
 	for _, iv := range intervals {
 		sum := 0.0
 		for _, bench := range benches {

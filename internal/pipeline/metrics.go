@@ -1,0 +1,94 @@
+package pipeline
+
+import "repro/internal/obs"
+
+// pipeMetrics is the pipeline's write-only instrumentation, sampled once at
+// the tail of every Cycle when attached. Throughput counters are exported
+// as deltas of the Stats block (so an attach mid-run counts only what
+// happens after it); occupancy histograms sample the structure fill levels
+// the ReStore paper's symptom detectors ultimately perturb (ROB, LDQ, STQ,
+// scheduler, fetch queue).
+//
+// The struct is bookkeeping, not machine state: it is never registered
+// with the StateSpace, is cleared by Clone/ResetFrom, and nothing in the
+// simulator ever reads it back — metrics-on and metrics-off runs are
+// byte-identical (enforced by TestCampaignMetricsInert and the restorelint
+// determinism analyzer's obs-read check).
+type pipeMetrics struct {
+	fetched     *obs.Counter
+	dispatched  *obs.Counter
+	issued      *obs.Counter
+	committed   *obs.Counter
+	squashes    *obs.Counter
+	mispredicts *obs.Counter
+
+	robOcc   *obs.Hist
+	ldqOcc   *obs.Hist
+	stqOcc   *obs.Hist
+	schedOcc *obs.Hist
+	fqOcc    *obs.Hist
+
+	last Stats // stats at the previous sample, for delta export
+}
+
+// AttachObs hooks per-stage counters and occupancy histograms into the
+// pipeline, registering them under prefix (e.g. "pipeline" yields
+// pipeline_fetched_total, pipeline_rob_occupancy, ...). A nil sink
+// detaches. Attachment is pure observation: it is not copied by Clone or
+// ResetFrom and has no effect on simulation results.
+func (p *Pipeline) AttachObs(sink obs.Sink, prefix string) {
+	if sink == nil {
+		p.obsM = nil
+		return
+	}
+	name := func(s string) string {
+		if prefix == "" {
+			return s
+		}
+		return prefix + "_" + s
+	}
+	p.obsM = &pipeMetrics{
+		fetched:     sink.Counter(name("fetched_total")),
+		dispatched:  sink.Counter(name("dispatched_total")),
+		issued:      sink.Counter(name("issued_total")),
+		committed:   sink.Counter(name("committed_total")),
+		squashes:    sink.Counter(name("squashes_total")),
+		mispredicts: sink.Counter(name("mispredicts_total")),
+		robOcc:      sink.Hist(name("rob_occupancy")),
+		ldqOcc:      sink.Hist(name("ldq_occupancy")),
+		stqOcc:      sink.Hist(name("stq_occupancy")),
+		schedOcc:    sink.Hist(name("sched_occupancy")),
+		fqOcc:       sink.Hist(name("fq_occupancy")),
+		last:        p.Stats(),
+	}
+}
+
+// sample records one cycle's worth of telemetry.
+func (m *pipeMetrics) sample(p *Pipeline) {
+	st := p.Stats()
+	m.fetched.Add(int64(st.Fetched - m.last.Fetched))
+	m.dispatched.Add(int64(st.Dispatched - m.last.Dispatched))
+	m.issued.Add(int64(st.Issued - m.last.Issued))
+	m.committed.Add(int64(st.Retired - m.last.Retired))
+	m.squashes.Add(int64(st.Flushes - m.last.Flushes))
+	m.mispredicts.Add(int64(st.Mispredicts - m.last.Mispredicts))
+	m.last = st
+
+	m.robOcc.Observe(int64(p.rob.count))
+	m.ldqOcc.Observe(int64(p.ldq.count))
+	m.stqOcc.Observe(int64(p.stq.count))
+	m.schedOcc.Observe(int64(p.schedOccupancy()))
+	m.fqOcc.Observe(int64(p.fq.count))
+}
+
+// schedOccupancy counts occupied scheduler slots (the scheduler has no
+// count field: validity lives in per-slot flags).
+func (p *Pipeline) schedOccupancy() int {
+	n := 0
+	for i := range p.sched.flags {
+		if p.sched.flags[i]&schValid != 0 {
+			n++
+		}
+	}
+	return n
+}

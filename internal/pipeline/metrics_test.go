@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+func metricsTestPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	return newBenchPipeline(t, workload.Gzip, DefaultConfig())
+}
+
+func TestAttachObsCountsMatchStats(t *testing.T) {
+	p := metricsTestPipeline(t)
+	reg := obs.NewRegistry()
+	p.AttachObs(reg, "pipeline")
+	p.RunCycles(2000)
+	s := p.Stats()
+
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"pipeline_fetched_total", s.Fetched},
+		{"pipeline_dispatched_total", s.Dispatched},
+		{"pipeline_issued_total", s.Issued},
+		{"pipeline_committed_total", s.Retired},
+		{"pipeline_squashes_total", s.Flushes},
+		{"pipeline_mispredicts_total", s.Mispredicts},
+	} {
+		if got := reg.Counter(c.name).Value(); got != int64(c.want) {
+			t.Errorf("%s = %d, want %d (Stats delta mismatch)", c.name, got, c.want)
+		}
+	}
+	// One occupancy sample per cycle.
+	if got := reg.Hist("pipeline_rob_occupancy").Count(); got != int64(s.Cycles) {
+		t.Errorf("rob occupancy samples = %d, want %d cycles", got, s.Cycles)
+	}
+	if reg.Hist("pipeline_sched_occupancy").Count() == 0 {
+		t.Error("scheduler occupancy never sampled")
+	}
+}
+
+func TestAttachObsMidRunCountsDeltasOnly(t *testing.T) {
+	p := metricsTestPipeline(t)
+	p.RunCycles(1000)
+	warm := p.Stats()
+
+	reg := obs.NewRegistry()
+	p.AttachObs(reg, "pipeline")
+	p.RunCycles(1000)
+	s := p.Stats()
+
+	want := int64(s.Retired - warm.Retired)
+	if got := reg.Counter("pipeline_committed_total").Value(); got != want {
+		t.Fatalf("committed after mid-run attach = %d, want delta %d", got, want)
+	}
+}
+
+func TestAttachObsInert(t *testing.T) {
+	plain := metricsTestPipeline(t)
+	instr := metricsTestPipeline(t)
+	instr.AttachObs(obs.NewRegistry(), "pipeline")
+
+	plain.RunCycles(3000)
+	instr.RunCycles(3000)
+
+	if plain.Stats() != instr.Stats() {
+		t.Fatalf("stats diverge with metrics attached:\nplain %+v\ninstr %+v", plain.Stats(), instr.Stats())
+	}
+	if ph, ih := plain.State().Hash(), instr.State().Hash(); ph != ih {
+		t.Fatalf("state hash diverges with metrics attached: %x vs %x", ph, ih)
+	}
+	if plain.ArchRegs() != instr.ArchRegs() {
+		t.Fatal("architectural registers diverge with metrics attached")
+	}
+}
+
+func TestCloneAndResetDropObs(t *testing.T) {
+	p := metricsTestPipeline(t)
+	p.AttachObs(obs.NewRegistry(), "pipeline")
+
+	c := p.Clone()
+	if c.obsM != nil {
+		t.Fatal("Clone copied the obs attachment")
+	}
+	c.AttachObs(obs.NewRegistry(), "x")
+	c.ResetFrom(p)
+	if c.obsM != nil {
+		t.Fatal("ResetFrom kept the obs attachment")
+	}
+	// Detach works too.
+	p.AttachObs(nil, "")
+	if p.obsM != nil {
+		t.Fatal("AttachObs(nil) did not detach")
+	}
+}

@@ -57,6 +57,11 @@ type Pipeline struct {
 	// issueScratch avoids per-cycle allocation in the selection loop.
 	issueScratch []issueCand
 
+	// obsM holds write-only telemetry (see metrics.go); nil when detached.
+	// Like the hooks below, it is not machine state and is not copied by
+	// Clone/ResetFrom.
+	obsM *pipeMetrics
+
 	// CommitHook observes every retired instruction (and the exception
 	// pseudo-retirement). Used by golden-lockstep comparison, event logs
 	// and the ReStore controller.
@@ -245,6 +250,7 @@ func (p *Pipeline) Clone() *Pipeline {
 	n.CommitHook = nil
 	n.BranchHook = nil
 	n.MissHook = nil
+	n.obsM = nil
 	n.issueScratch = nil
 	n.mem = p.mem.Clone()
 	n.dir = p.dir.Clone()
@@ -332,6 +338,7 @@ func (p *Pipeline) ResetFrom(src *Pipeline) {
 	p.CommitHook = nil
 	p.BranchHook = nil
 	p.MissHook = nil
+	p.obsM = nil
 }
 
 // Cycle advances the machine by one clock. Stages run in reverse order so
@@ -343,20 +350,22 @@ func (p *Pipeline) Cycle() {
 	}
 	p.cycle++
 	p.doCommit()
-	if p.status != StatusRunning {
-		return
-	}
-	p.doWriteback()
-	p.doIssue()
-	p.doRename()
-	p.doFetch()
+	if p.status == StatusRunning {
+		p.doWriteback()
+		p.doIssue()
+		p.doRename()
+		p.doFetch()
 
-	p.watchdog++
-	if p.watchdog >= p.cfg.WatchdogCycles {
-		p.status = StatusDeadlocked
+		p.watchdog++
+		if p.watchdog >= p.cfg.WatchdogCycles {
+			p.status = StatusDeadlocked
+		}
+		if p.memdep != nil && p.cycle%p.cfg.MemDepDecayCycles == 0 {
+			p.memdep.Decay()
+		}
 	}
-	if p.memdep != nil && p.cycle%p.cfg.MemDepDecayCycles == 0 {
-		p.memdep.Decay()
+	if p.obsM != nil {
+		p.obsM.sample(p)
 	}
 }
 

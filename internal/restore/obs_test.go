@@ -1,0 +1,89 @@
+package restore
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Symptom telemetry: every rollback emits exactly one count, one per-kind
+// count, one depth/latency observation, and one trace event — and attaching
+// the sink changes nothing about the run itself.
+func TestObsRecordsSymptomRollbacks(t *testing.T) {
+	run := func(reg obs.Sink, trace *obs.Trace) Report {
+		t.Helper()
+		// Oracle confidence turns every misprediction into a symptom, so a
+		// fault-free run still rolls back constantly.
+		pcfg := pipeline.DefaultConfig()
+		pcfg.Confidence = pipeline.ConfidencePerfect
+		prog := workload.MustGenerate(workload.GCC, workload.Config{Seed: 42, Scale: 0.25})
+		m, err := prog.NewMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := pipeline.New(pcfg, m, prog.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc := New(pipe, Config{Interval: 100, Obs: reg, Trace: trace})
+		rep, err := proc.Run(15_000, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	bare := run(nil, nil)
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace(8)
+	rep := run(reg, trace)
+
+	if rep != bare {
+		t.Fatalf("report changed with a sink attached:\nbare:        %+v\ninstrumented: %+v", bare, rep)
+	}
+	if rep.Rollbacks == 0 {
+		t.Fatal("run produced no rollbacks; nothing to observe")
+	}
+
+	rollbacks := int64(rep.Rollbacks)
+	if got := reg.Counter("restore_rollbacks_total").Value(); got != rollbacks {
+		t.Errorf("restore_rollbacks_total = %d, want %d", got, rollbacks)
+	}
+	if got := reg.Counter("restore_symptom_branch_total").Value(); got == 0 {
+		t.Error("no branch symptom counts under oracle confidence")
+	}
+	var perKind int64
+	for _, kind := range []string{"branch", "exception", "deadlock", "cache_miss", "verify"} {
+		perKind += reg.Counter("restore_symptom_" + kind + "_total").Value()
+	}
+	if perKind != rollbacks {
+		t.Errorf("per-kind symptom counters sum to %d, want %d", perKind, rollbacks)
+	}
+	for _, hist := range []string{"restore_rollback_depth_insts", "restore_detection_latency_insts"} {
+		if got := reg.Hist(hist).Count(); got != rollbacks {
+			t.Errorf("%s observations = %d, want %d", hist, got, rollbacks)
+		}
+	}
+
+	// One trace event per rollback; the ring keeps the newest 8.
+	if got := int64(len(trace.Events())) + trace.Dropped(); got != rollbacks {
+		t.Errorf("trace events+dropped = %d, want %d", got, rollbacks)
+	}
+	for _, ev := range trace.Events() {
+		if ev.Name != "branch" {
+			continue
+		}
+		keys := make(map[string]bool, len(ev.Fields))
+		for _, f := range ev.Fields {
+			keys[f.Key] = true
+		}
+		for _, want := range []string{"cycle", "index", "depth", "latency"} {
+			if !keys[want] {
+				t.Errorf("trace event missing field %q: %+v", want, ev)
+			}
+		}
+		break
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -89,6 +90,17 @@ type Config struct {
 	// re-execute; if the third pass agrees with the second, the soft
 	// error is confirmed to have corrupted the ORIGINAL execution.
 	VerifyDetections bool
+
+	// Obs, if non-nil, receives symptom/rollback telemetry under the
+	// restore_* namespace: per-kind symptom counters plus rollback-depth
+	// and detection-latency histograms. Write-only: the processor never
+	// reads it back, so runs are identical with or without a sink.
+	Obs obs.Sink
+
+	// Trace, if non-nil, receives one event per symptom-triggered rollback
+	// (named by symptom kind, with cycle/index/depth/latency fields). Like
+	// Obs, purely observational.
+	Trace *obs.Trace
 }
 
 func (c *Config) applyDefaults() {
@@ -217,6 +229,11 @@ func New(pipe *pipeline.Pipeline, cfg Config) *Processor {
 	p.pipe.BranchHook = p.onBranch
 	if cfg.EnableCacheMissSymptom {
 		p.pipe.MissHook = p.onCacheMiss
+	}
+	if cfg.Obs != nil {
+		// The wrapped pipeline reports its per-stage counters into the
+		// same sink as the ReStore symptom telemetry.
+		p.pipe.AttachObs(cfg.Obs, "pipeline")
 	}
 	p.createCheckpoint()
 	return p
@@ -412,8 +429,13 @@ func (p *Processor) noteRollbackForTuning() {
 }
 
 // rollback restores the oldest checkpoint and enters replay mode up to the
-// given architectural index.
-func (p *Processor) rollback(symptomIdx uint64, branchCause bool) error {
+// given architectural index. kind names the triggering symptom for
+// telemetry ("branch", "cache_miss", "exception", "deadlock", "verify").
+func (p *Processor) rollback(symptomIdx uint64, branchCause bool, kind string) error {
+	// Detection latency proxy: how far past the restored-to region the
+	// machine had run when the symptom fired (instructions since the last
+	// checkpoint was taken). Captured before the counters reset.
+	latency := p.sinceCP
 	cp, err := p.store.RestoreOldest()
 	if err != nil {
 		return fmt.Errorf("rollback without checkpoint: %w", err)
@@ -436,7 +458,25 @@ func (p *Processor) rollback(symptomIdx uint64, branchCause bool) error {
 	p.report.Checkpoints++
 	p.sinceCP = 0
 	p.noteRollbackForTuning()
+	p.noteRollbackObs(kind, symptomIdx, p.replayUntil-cp.Retired, latency)
 	return nil
+}
+
+// noteRollbackObs emits the write-only telemetry for one rollback. Every
+// handle is nil-safe, so without a sink/trace this is a handful of nil
+// checks and nothing more.
+func (p *Processor) noteRollbackObs(kind string, symptomIdx, depth, latency uint64) {
+	sink := p.cfg.Obs
+	sink.Counter("restore_rollbacks_total").Inc()
+	sink.Counter("restore_symptom_" + kind + "_total").Inc()
+	sink.Hist("restore_rollback_depth_insts").Observe(int64(depth))
+	sink.Hist("restore_detection_latency_insts").Observe(int64(latency))
+	p.cfg.Trace.Emit(kind,
+		obs.F("cycle", int64(p.pipe.Cycles())),
+		obs.F("index", int64(symptomIdx)),
+		obs.F("depth", int64(depth)),
+		obs.F("latency", int64(latency)),
+	)
 }
 
 // Run executes until n architectural instructions have been retired (net of
@@ -455,7 +495,7 @@ func (p *Processor) Run(n, maxCycles uint64) (Report, error) {
 			if p.pendingVerify {
 				p.pendingVerify = false
 				p.verifying = true
-				if err := p.rollback(p.archIndex, false); err != nil {
+				if err := p.rollback(p.archIndex, false, "verify"); err != nil {
 					return p.Report(), err
 				}
 				continue
@@ -467,14 +507,16 @@ func (p *Processor) Run(n, maxCycles uint64) (Report, error) {
 			delayed := pending && p.cfg.Policy == PolicyDelayed &&
 				p.sinceCP >= p.cfg.Interval
 			if immediate || delayed {
+				kind := "cache_miss"
 				if p.pendingBranch {
 					p.report.BranchSymptoms++
+					kind = "branch"
 				}
 				if p.pendingMiss {
 					p.report.CacheMissSymptoms++
 					p.pendingMiss = false
 				}
-				if err := p.rollback(p.archIndex, p.pendingBranch); err != nil {
+				if err := p.rollback(p.archIndex, p.pendingBranch, kind); err != nil {
 					return p.Report(), err
 				}
 			}
@@ -497,7 +539,7 @@ func (p *Processor) Run(n, maxCycles uint64) (Report, error) {
 			p.excArmed = true
 			p.excPC = pc
 			p.excIdx = p.archIndex
-			if err := p.rollback(p.archIndex, false); err != nil {
+			if err := p.rollback(p.archIndex, false, "exception"); err != nil {
 				return p.Report(), err
 			}
 
@@ -511,7 +553,7 @@ func (p *Processor) Run(n, maxCycles uint64) (Report, error) {
 			p.report.DeadlockSymptoms++
 			p.dlArmed = true
 			p.dlIdx = p.archIndex
-			if err := p.rollback(p.archIndex, false); err != nil {
+			if err := p.rollback(p.archIndex, false, "deadlock"); err != nil {
 				return p.Report(), err
 			}
 		}

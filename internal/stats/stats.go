@@ -79,8 +79,20 @@ func NewStackedTable(title, columnName string, rows []string) *StackedTable {
 	}
 }
 
-// AddColumn appends a column from a distribution.
+// AddColumn appends a column from a distribution. A label that is already
+// present gets a "#2", "#3", ... suffix: the columns are keyed by label, so
+// without the suffix the second Add would alias both columns to one cell
+// map and Render/RenderCSV would show that distribution twice.
 func (t *StackedTable) AddColumn(label string, d Distribution) {
+	if _, taken := t.cells[label]; taken {
+		base := label
+		for n := 2; ; n++ {
+			label = fmt.Sprintf("%s#%d", base, n)
+			if _, taken := t.cells[label]; !taken {
+				break
+			}
+		}
+	}
 	t.Columns = append(t.Columns, label)
 	col := make(map[string]float64, len(t.Rows))
 	for _, r := range t.Rows {

@@ -81,6 +81,42 @@ func TestStackedTable(t *testing.T) {
 	}
 }
 
+func TestAddColumnDuplicateLabelKeepsBothColumns(t *testing.T) {
+	tbl := NewStackedTable("", "interval", []string{"masked"})
+	d1 := NewDistribution(nil)
+	d1.Fraction["masked"] = 0.9
+	d2 := NewDistribution(nil)
+	d2.Fraction["masked"] = 0.4
+	tbl.AddColumn("100", d1)
+	tbl.AddColumn("100", d2) // same label: must not alias the first column
+
+	if len(tbl.Columns) != 2 {
+		t.Fatalf("columns = %v, want 2 entries", tbl.Columns)
+	}
+	if tbl.Columns[0] != "100" || tbl.Columns[1] != "100#2" {
+		t.Fatalf("columns = %v, want [100 100#2]", tbl.Columns)
+	}
+	if got := tbl.Cell("masked", "100"); got != 0.9 {
+		t.Errorf("first column overwritten: cell = %v, want 0.9", got)
+	}
+	if got := tbl.Cell("masked", "100#2"); got != 0.4 {
+		t.Errorf("suffixed column cell = %v, want 0.4", got)
+	}
+
+	// Before the fix, Render showed d2's value under BOTH labels; each
+	// distribution must appear exactly once.
+	text := tbl.Render()
+	if strings.Count(text, "90.00%") != 1 || strings.Count(text, "40.00%") != 1 {
+		t.Errorf("render double-counts a column:\n%s", text)
+	}
+
+	// A third collision keeps counting up.
+	tbl.AddColumn("100", d1)
+	if tbl.Columns[2] != "100#3" {
+		t.Fatalf("third duplicate label = %q, want 100#3", tbl.Columns[2])
+	}
+}
+
 func TestSeriesTable(t *testing.T) {
 	var a, b Series
 	a.Name, b.Name = "imm", "delayed"

@@ -17,7 +17,7 @@ import (
 // simulator is a pure function of its seeds.
 var Determinism = &lint.Analyzer{
 	Name: "determinism",
-	Doc:  "flags time.Now, the global math/rand RNG, RNGs shared with goroutines, and order-sensitive map iteration",
+	Doc:  "flags time.Now, the global math/rand RNG, RNGs shared with goroutines, order-sensitive map iteration, and telemetry read-back",
 	Run:  runDeterminism,
 }
 
@@ -27,6 +27,7 @@ func runDeterminism(pass *lint.Pass) {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkNondeterministicCall(pass, n)
+				checkObsRead(pass, n)
 			case *ast.RangeStmt:
 				checkMapRange(pass, n)
 			case *ast.GoStmt:
@@ -89,6 +90,56 @@ func checkGoroutineRNGCapture(pass *lint.Pass, gs *ast.GoStmt) {
 			id.Name)
 		return true
 	})
+}
+
+// obsReadMethods are the internal/obs accessors that read telemetry back
+// out: registry snapshots, metric values, and trace contents. Write methods
+// (Inc, Add, Set, Observe, Start, Stop, Emit) and handle claims (Counter,
+// Gauge, Hist, Timer) are not listed — they are the instrumentation itself.
+var obsReadMethods = map[string]bool{
+	"Value": true, "Count": true, "Sum": true, "Total": true,
+	"Buckets": true, "Snapshot": true, "Get": true, "Diff": true,
+	"Events": true, "Dropped": true, "Render": true,
+}
+
+// checkObsRead flags simulator code that reads internal/obs telemetry. The
+// observability layer is write-only from inside the simulator: the moment a
+// metric value feeds a decision, metrics-on and metrics-off runs can
+// diverge, breaking the inertness contract (campaign results must be
+// byte-identical either way). Reading belongs in cmd/, examples/, and tests.
+func checkObsRead(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !obsReadMethods[sel.Sel.Name] {
+		return
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	recv := obsTypeName(selection.Recv())
+	if recv == "" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"obs.%s.%s reads telemetry inside simulator code, so instrumentation could feed back into results; the obs layer is write-only here (metrics-on runs must be byte-identical to metrics-off)",
+		recv, sel.Sel.Name)
+}
+
+// obsTypeName returns the named type behind t (derefing one pointer) if it
+// lives in repro/internal/obs, and "" otherwise.
+func obsTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "repro/internal/obs" {
+		return ""
+	}
+	return obj.Name()
 }
 
 // isSeededRNG reports whether t is *math/rand.Rand or *math/rand/v2.Rand.

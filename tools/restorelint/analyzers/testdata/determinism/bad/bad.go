@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func wallClock() (time.Time, time.Duration) {
@@ -36,6 +38,16 @@ func appendOverMap(m map[string]int) []string {
 		keys = append(keys, k) // want "append to keys inside map iteration produces nondeterministic element order"
 	}
 	return keys
+}
+
+func telemetryFeedback(reg *obs.Registry, c *obs.Counter, tr *obs.Trace) {
+	if c.Value() > 100 { // want "obs.Counter.Value reads telemetry inside simulator code"
+		return
+	}
+	snap := reg.Snapshot()                     // want "obs.Registry.Snapshot reads telemetry inside simulator code"
+	if _, ok := snap.Get("trials_total"); ok { // want "obs.Snapshot.Get reads telemetry inside simulator code"
+		_ = tr.Events() // want "obs.Trace.Events reads telemetry inside simulator code"
+	}
 }
 
 func rngAcrossGoroutines(seed int64) {

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Seeded generators are reproducible; constructors are allowed.
@@ -61,6 +63,19 @@ func preDrawnAcrossGoroutines(seed int64) {
 		close(done)
 	}()
 	<-done
+}
+
+// Writing telemetry is the instrumentation itself: handle claims and every
+// write method are allowed anywhere. Only reading it back is flagged.
+func instrument(reg *obs.Registry, tr *obs.Trace) {
+	c := reg.Counter("trials_total")
+	c.Inc()
+	c.Add(3)
+	reg.Gauge("trials_per_second").Set(412.5)
+	reg.Hist("rob_occupancy").Observe(42)
+	sw := reg.Timer("worker_busy").Start()
+	sw.Stop()
+	tr.Emit("branch", obs.F("cycle", 1))
 }
 
 // A generator created inside the goroutine is goroutine-local.

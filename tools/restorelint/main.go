@@ -36,7 +36,7 @@ import (
 var scopes = map[*lint.Analyzer][]string{
 	analyzers.Determinism: {
 		"internal/pipeline", "internal/inject", "internal/staticvuln",
-		"internal/stats", "internal/experiments",
+		"internal/stats", "internal/experiments", "internal/restore",
 	},
 	analyzers.OpcodeSwitch: {
 		"internal/pipeline", "internal/staticvuln", "internal/asm", "internal/trace",
