@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench telemetry clean
+.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench telemetry resume clean
 
 all: build test lint
 
@@ -59,6 +59,12 @@ bench:
 # contract before printing anything.
 telemetry:
 	$(GO) run ./examples/telemetry
+
+# Durable-campaign smoke test: interrupt/resume, SIGTERM recovery, and
+# shard+merge on the built CLI, each diffed byte-for-byte against a
+# one-shot run (tools/resume_smoke.sh; CI's durable-campaigns job).
+resume:
+	sh ./tools/resume_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -28,19 +28,39 @@
 // Paper-scale campaigns take minutes; use -trials to scale them down,
 // -workers to fan trials across CPUs (results are bit-identical to serial
 // runs), and -progress for a live trial counter with an ETA.
+//
+// Durable campaigns: with -out <dir>, every injection campaign journals its
+// completed trials under <dir> as it runs. Interrupting the process (ctrl-C
+// or SIGTERM) drains in-flight trials, flushes the journal and exits;
+// rerunning the identical command resumes where it left off and prints the
+// same results a one-shot run would have. -shard k/n runs only every n-th
+// trial (shard k of n, 1-based) so n machines can split a campaign; their
+// -out directories are then combined with
+//
+//	restore-sim merge -out <merged-dir> <shard-dir-1> ... <shard-dir-n>
+//
+// and rerunning the experiment with -out <merged-dir> prints the full
+// results without re-running any trial. See EXPERIMENTS.md for the on-disk
+// format and the crash-consistency guarantees.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -pprof
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/campaignio"
 	"repro/internal/experiments"
 	"repro/internal/fit"
 	"repro/internal/harden"
@@ -79,29 +99,54 @@ type campaignKey struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("restore-sim", flag.ContinueOnError)
 	var (
-		seed     = fs.Int64("seed", 42, "campaign seed")
-		scale    = fs.Float64("scale", 1.0, "workload data-structure scale")
-		trials   = fs.Float64("trials", 0.25, "campaign size factor (1.0 = paper scale)")
-		benches  = fs.String("bench", "", "comma-separated benchmark subset (default: all seven)")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		interval = fs.Uint64("interval", 100, "checkpoint interval for summary metrics")
-		perBench = fs.Bool("perbench", false, "append per-benchmark breakdowns")
-		workers  = fs.Int("workers", 0, "goroutines per campaign (0 = serial, -1 = all CPUs); results are identical either way")
-		progress = fs.Bool("progress", false, "print a live trial counter with ETA to stderr")
-		metrics  = fs.String("metrics", "", "write campaign/pipeline telemetry to this file after the run (.json, .csv, else Prometheus text); results are identical either way")
-		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+		seed      = fs.Int64("seed", 42, "campaign seed")
+		scale     = fs.Float64("scale", 1.0, "workload data-structure scale")
+		trials    = fs.Float64("trials", 0.25, "campaign size factor (1.0 = paper scale)")
+		benches   = fs.String("bench", "", "comma-separated benchmark subset (default: all seven)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		interval  = fs.Uint64("interval", 100, "checkpoint interval for summary metrics")
+		perBench  = fs.Bool("perbench", false, "append per-benchmark breakdowns")
+		workers   = fs.Int("workers", 0, "goroutines per campaign (0 = serial, -1 = all CPUs); results are identical either way")
+		progress  = fs.Bool("progress", false, "print a live trial counter with ETA to stderr")
+		metrics   = fs.String("metrics", "", "write campaign/pipeline telemetry to this file after the run (.json, .csv, else Prometheus text); results are identical either way")
+		pprof     = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+		out       = fs.String("out", "", "campaign directory: journal completed trials under this directory and resume from it on rerun; results are identical either way")
+		shard     = fs.String("shard", "", "run shard k/n of every campaign (1-based, e.g. 1/4); requires -out, combine shard directories with the merge subcommand")
+		stopAfter = fs.Int("stop-after", 0, "interrupt the run after this many trial completions (deterministic stand-in for ctrl-C; mainly for tests and CI)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n\n")
+		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n")
+		fmt.Fprintf(fs.Output(), "       restore-sim merge -out <merged-dir> <shard-dir>...\n\n")
 		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability analyze demo all\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.Arg(0) == "merge" {
+		if *out == "" {
+			return fmt.Errorf("merge requires -out <merged-dir>")
+		}
+		if fs.NArg() < 2 {
+			return fmt.Errorf("usage: restore-sim merge -out <merged-dir> <shard-dir>...")
+		}
+		return mergeRoots(*out, fs.Args()[1:])
+	}
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
+	}
+	shardIndex, shardCount := 0, 0
+	if *shard != "" {
+		var k, n int
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &k, &n); err != nil ||
+			fmt.Sprintf("%d/%d", k, n) != *shard || k < 1 || k > n {
+			return fmt.Errorf("invalid -shard %q (want k/n with 1 <= k <= n)", *shard)
+		}
+		if *out == "" {
+			return fmt.Errorf("-shard requires -out: shards journal their trials into the campaign directory")
+		}
+		shardIndex, shardCount = k-1, n
 	}
 
 	if *workers < 0 {
@@ -109,10 +154,13 @@ func run(args []string) error {
 	}
 	c := &cli{
 		opts: experiments.Options{
-			Seed:        *seed,
-			Scale:       *scale,
-			TrialFactor: *trials,
-			Workers:     *workers,
+			Seed:         *seed,
+			Scale:        *scale,
+			TrialFactor:  *trials,
+			Workers:      *workers,
+			CampaignRoot: *out,
+			ShardIndex:   shardIndex,
+			ShardCount:   shardCount,
 		},
 		csv:      *csv,
 		interval: *interval,
@@ -120,6 +168,41 @@ func run(args []string) error {
 	}
 	if *progress {
 		c.opts.Progress = (&progressMeter{}).tick
+	}
+
+	// One stop channel serves both interruption sources: a signal (when the
+	// run is durable there is something worth flushing) and the
+	// deterministic -stop-after trial counter. Campaigns drain in-flight
+	// trials, flush their journal and return inject.ErrInterrupted.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopCampaigns := func() { stopOnce.Do(func() { close(stop) }) }
+	if *out != "" || *stopAfter > 0 {
+		c.opts.Interrupt = stop
+	}
+	if *out != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			if _, ok := <-sigc; ok {
+				fmt.Fprintln(os.Stderr, "\nrestore-sim: draining in-flight trials and flushing journals...")
+				stopCampaigns()
+			}
+		}()
+	}
+	if *stopAfter > 0 {
+		inner := c.opts.Progress
+		var ticks int64
+		limit := int64(*stopAfter)
+		c.opts.Progress = func(done, total int) {
+			if atomic.AddInt64(&ticks, 1) >= limit {
+				stopCampaigns()
+			}
+			if inner != nil {
+				inner(done, total)
+			}
+		}
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
@@ -140,7 +223,25 @@ func run(args []string) error {
 		c.opts.Obs = reg
 	}
 
-	if err := c.dispatch(fs, fs.Arg(0)); err != nil {
+	var err error
+	if shardCount > 0 {
+		err = c.runShard(fs.Arg(0))
+		if err == nil {
+			fmt.Printf("shard %s of %q complete; journals under %s\n", *shard, fs.Arg(0), *out)
+			fmt.Printf("combine with: restore-sim merge -out <merged-dir> <all %d shard dirs>\n", shardCount)
+		}
+	} else {
+		err = c.dispatch(fs, fs.Arg(0))
+	}
+	if errors.Is(err, inject.ErrInterrupted) {
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "restore-sim: interrupted; completed trials are journalled under %s — rerun the same command to resume\n", *out)
+		} else {
+			fmt.Fprintln(os.Stderr, "restore-sim: interrupted (no -out directory, completed trials were discarded)")
+		}
+		return nil
+	}
+	if err != nil {
 		return err
 	}
 	if reg != nil {
@@ -149,6 +250,92 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runShard runs one shard of a campaign experiment. Only the raw campaigns
+// can shard: derived experiments (fig8, summary, ...) need the full trial set
+// and are produced from the merged directory instead. Partial per-shard
+// tables would be misleading, so a shard run prints a completion notice
+// rather than results.
+func (c *cli) runShard(experiment string) error {
+	var err error
+	switch experiment {
+	case "fig2":
+		_, err = experiments.Fig2(c.opts, false)
+	case "fig2-low32":
+		_, err = experiments.Fig2(c.opts, true)
+	case "fig4", "fig5", "fig5-perfect":
+		_, err = experiments.Campaign(c.opts, experiments.CampaignConfig{})
+	case "fig4-latches":
+		_, err = experiments.Campaign(c.opts, experiments.CampaignConfig{LatchesOnly: true})
+	case "fig6":
+		_, err = experiments.Campaign(c.opts, experiments.CampaignConfig{Harden: harden.LowHangingFruit})
+	default:
+		return fmt.Errorf("experiment %q cannot run sharded (shardable: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6)", experiment)
+	}
+	return err
+}
+
+// mergeRoots combines the campaign directories journalled by sharded runs.
+// Each root is the -out directory of one shard. Every campaign found in one
+// root must exist in all of them, each campaign's shards must together cover
+// every trial slot, and any journal corruption aborts the merge — a damaged
+// shard is resumed, never patched over.
+func mergeRoots(outRoot string, roots []string) error {
+	ids, err := campaignIDs(roots[0])
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no campaign directories under %s", roots[0])
+	}
+	known := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		known[id] = true
+	}
+	for _, root := range roots[1:] {
+		other, err := campaignIDs(root)
+		if err != nil {
+			return err
+		}
+		for _, id := range other {
+			if !known[id] {
+				return fmt.Errorf("campaign %s exists under %s but not under %s", id, root, roots[0])
+			}
+		}
+	}
+	for _, id := range ids {
+		dirs := make([]string, len(roots))
+		for i, root := range roots {
+			dirs[i] = filepath.Join(root, id)
+		}
+		man, payloads, err := campaignio.MergeScan(dirs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := campaignio.WriteMerged(filepath.Join(outRoot, id), man, payloads); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("merged %s: %d/%d slots from %d shards\n", id, len(payloads), man.Slots, len(roots))
+	}
+	fmt.Printf("rerun any merged experiment with -out %s to print its full results\n", outRoot)
+	return nil
+}
+
+// campaignIDs lists the campaign directories (subdirectories with a
+// manifest) under a shard root.
+func campaignIDs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && campaignio.HasManifest(filepath.Join(root, e.Name())) {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
 }
 
 func (c *cli) dispatch(fs *flag.FlagSet, experiment string) error {

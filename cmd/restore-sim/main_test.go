@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,6 +94,119 @@ func TestRunMetricsFlag(t *testing.T) {
 	args = append([]string{"-metrics", filepath.Join(dir, "no", "such", "dir.prom")}, tinyArgs("fig4")...)
 	if err := run(args); err == nil || !strings.Contains(err.Error(), "metrics") {
 		t.Errorf("unwritable metrics path: err = %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything fn printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	collected := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		collected <- string(b)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-collected, ferr
+}
+
+// TestRunDurableResumeMatchesOneShot interrupts a durable CLI run with
+// -stop-after, resumes it, and requires the resumed run to print exactly
+// what a one-shot run prints.
+func TestRunDurableResumeMatchesOneShot(t *testing.T) {
+	oneShot, err := captureStdout(t, func() error { return run(tinyArgs("fig4")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	durable := append([]string{"-out", dir, "-stop-after", "5"}, tinyArgs("fig4")...)
+	if _, err := captureStdout(t, func() error { return run(durable) }); err != nil {
+		t.Fatalf("interrupted run must exit cleanly, got %v", err)
+	}
+	ids, err := campaignIDs(dir)
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("interrupted run left no campaign directory (ids %v, err %v)", ids, err)
+	}
+
+	resumed, err := captureStdout(t, func() error {
+		return run(append([]string{"-out", dir}, tinyArgs("fig4")...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != oneShot {
+		t.Errorf("resumed output differs from one-shot:\n--- one-shot ---\n%s--- resumed ---\n%s", oneShot, resumed)
+	}
+}
+
+// TestRunShardMergeRerun splits fig2 across two shard processes, merges their
+// directories, and reruns from the merged directory: the rerun must print
+// exactly what a one-shot run prints, without re-running any trial.
+func TestRunShardMergeRerun(t *testing.T) {
+	oneShot, err := captureStdout(t, func() error { return run(tinyArgs("fig2")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, s2, merged := t.TempDir(), t.TempDir(), t.TempDir()
+	for i, dir := range []string{s1, s2} {
+		shard := []string{"-out", dir, "-shard", []string{"1/2", "2/2"}[i]}
+		out, err := captureStdout(t, func() error { return run(append(shard, tinyArgs("fig2")...)) })
+		if err != nil {
+			t.Fatalf("shard %d: %v", i+1, err)
+		}
+		if !strings.Contains(out, "shard") {
+			t.Errorf("shard run printed no completion notice:\n%s", out)
+		}
+	}
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-out", merged, "merge", s1, s2})
+	}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	rerun, err := captureStdout(t, func() error {
+		return run(append([]string{"-out", merged}, tinyArgs("fig2")...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun != oneShot {
+		t.Errorf("merged rerun differs from one-shot:\n--- one-shot ---\n%s--- rerun ---\n%s", oneShot, rerun)
+	}
+}
+
+func TestRunDurableFlagErrors(t *testing.T) {
+	if err := run(append([]string{"-shard", "1/2"}, tinyArgs("fig2")...)); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Errorf("-shard without -out: err = %v", err)
+	}
+	dir := t.TempDir()
+	for _, bad := range []string{"0/2", "3/2", "2", "a/b", "1/2/3"} {
+		if err := run(append([]string{"-out", dir, "-shard", bad}, tinyArgs("fig2")...)); err == nil {
+			t.Errorf("-shard %q accepted", bad)
+		}
+	}
+	args := append([]string{"-out", dir, "-shard", "1/2"}, tinyArgs("summary")...)
+	if err := run(args); err == nil || !strings.Contains(err.Error(), "sharded") {
+		t.Errorf("sharded summary: err = %v", err)
+	}
+	if err := run([]string{"merge", dir}); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Errorf("merge without -out: err = %v", err)
+	}
+	if err := run([]string{"-out", t.TempDir(), "merge"}); err == nil {
+		t.Error("merge without shard dirs accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "merge", t.TempDir()}); err == nil || !strings.Contains(err.Error(), "no campaign directories") {
+		t.Errorf("merge of empty root: err = %v", err)
 	}
 }
 

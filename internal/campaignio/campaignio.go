@@ -1,0 +1,555 @@
+// Package campaignio defines the durable on-disk form of a fault-injection
+// campaign: a manifest identifying the trial plan plus an append-only,
+// checksummed journal of per-trial results.
+//
+// The paper's campaigns are statistical — thousands of trials per benchmark
+// (Section 5.1) — and at production scale they must survive interruption and
+// spread across processes and machines. The format here is what makes that
+// safe without giving up the engine's determinism contract: every trial is a
+// pure function of the campaign configuration and its (point, trial) slot, so
+// a journal is nothing more than a cache of slots already computed. A resumed
+// or merged campaign that validates the manifest and re-runs only the missing
+// slots is byte-identical to a one-shot serial run.
+//
+// On-disk layout of a campaign directory:
+//
+//	manifest.json   plan identity: format version, campaign kind, config
+//	                hash, seed, benchmark, slot count, shard coordinates.
+//	                Written atomically (tmp + rename + fsync) before the
+//	                first trial result.
+//	journal.restj   8-byte magic header, then records. Each record is
+//	                slot(uint32 LE) | len(uint32 LE) | payload | crc32(IEEE,
+//	                over slot+len+payload). Appended in fsync'd batches.
+//
+// Crash-consistency guarantees:
+//
+//   - A record is visible iff its checksum verifies. A crash mid-append
+//     leaves a torn tail (a partial final record); Scan detects it, reports
+//     it, and resumable callers truncate it away before appending — the
+//     trials it covered simply re-run. A torn tail is never silently
+//     treated as data.
+//   - A checksum mismatch anywhere before the tail means real corruption
+//     (bit rot, concurrent writers, wrong file) and is always a hard error.
+//   - The manifest is written before the journal, atomically, so a journal
+//     can never exist without the plan that interprets it.
+package campaignio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FormatVersion is the current on-disk format version; bumped on any
+// incompatible change to the manifest schema or journal framing.
+const FormatVersion = 1
+
+// File names inside a campaign directory.
+const (
+	ManifestName = "manifest.json"
+	JournalName  = "journal.restj"
+)
+
+// magic opens every journal file; the trailing '1' is the framing version.
+var magic = [8]byte{'R', 'S', 'T', 'J', 'R', 'N', 'L', '1'}
+
+// maxPayload bounds one record's payload so a corrupt length field cannot
+// drive a giant allocation. Trial records are a few hundred bytes.
+const maxPayload = 1 << 20
+
+// Sentinel errors, matched with errors.Is by callers that distinguish
+// recoverable from fatal journal damage.
+var (
+	// ErrCorrupt reports journal damage that resumption must not repair
+	// silently: a checksum mismatch, an impossible slot or length, or a
+	// bad header.
+	ErrCorrupt = errors.New("campaignio: journal corrupt")
+	// ErrTornTail reports a partial final record — the expected residue of
+	// a crash mid-append. Resumable callers truncate it; merge refuses it.
+	ErrTornTail = errors.New("campaignio: torn journal tail")
+	// ErrManifestMismatch reports a manifest incompatible with the live
+	// configuration or with its sibling shards.
+	ErrManifestMismatch = errors.New("campaignio: manifest mismatch")
+)
+
+// Manifest identifies a campaign's trial plan. Two runs with equal manifests
+// (shard coordinates aside) compute identical trial results for every slot,
+// which is what makes resuming and merging sound.
+type Manifest struct {
+	Version    int    `json:"version"`
+	Kind       string `json:"kind"`        // campaign type, e.g. "uarch" or "vm"
+	ConfigHash string `json:"config_hash"` // fingerprint of every plan-relevant config field
+	Seed       int64  `json:"seed"`
+	Bench      string `json:"bench"`
+	Slots      int    `json:"slots"` // total (point, trial) slots in the full plan
+
+	// Shard coordinates: this journal holds the slots s with
+	// s % ShardCount == ShardIndex. An unsharded campaign is 0 of 1.
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+
+	// Aux carries campaign-kind-specific aggregates (for the
+	// microarchitectural campaign: state-space bit counts and hardening
+	// stats) so a merge can rebuild the full result without re-running
+	// the simulator. Byte-equal across compatible shards.
+	Aux json.RawMessage `json:"aux,omitempty"`
+}
+
+// Owns reports whether the manifest's shard is responsible for a slot.
+func (m Manifest) Owns(slot int) bool {
+	if m.ShardCount <= 1 {
+		return true
+	}
+	return slot%m.ShardCount == m.ShardIndex
+}
+
+// SamePlan reports whether two manifests describe the same trial plan
+// (everything but the shard index must agree, including the Aux bytes).
+func (m Manifest) SamePlan(o Manifest) error {
+	switch {
+	case m.Version != o.Version:
+		return fmt.Errorf("%w: format version %d vs %d", ErrManifestMismatch, m.Version, o.Version)
+	case m.Kind != o.Kind:
+		return fmt.Errorf("%w: campaign kind %q vs %q", ErrManifestMismatch, m.Kind, o.Kind)
+	case m.ConfigHash != o.ConfigHash:
+		return fmt.Errorf("%w: config hash %s vs %s", ErrManifestMismatch, m.ConfigHash, o.ConfigHash)
+	case m.Seed != o.Seed:
+		return fmt.Errorf("%w: seed %d vs %d", ErrManifestMismatch, m.Seed, o.Seed)
+	case m.Bench != o.Bench:
+		return fmt.Errorf("%w: benchmark %q vs %q", ErrManifestMismatch, m.Bench, o.Bench)
+	case m.Slots != o.Slots:
+		return fmt.Errorf("%w: %d slots vs %d", ErrManifestMismatch, m.Slots, o.Slots)
+	case m.ShardCount != o.ShardCount:
+		return fmt.Errorf("%w: shard count %d vs %d", ErrManifestMismatch, m.ShardCount, o.ShardCount)
+	case compactJSON(m.Aux) != compactJSON(o.Aux):
+		return fmt.Errorf("%w: campaign aggregates differ", ErrManifestMismatch)
+	}
+	return nil
+}
+
+// compactJSON normalises raw JSON for comparison: the manifest writer
+// re-indents Aux, so byte equality only holds modulo whitespace.
+func compactJSON(raw json.RawMessage) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}
+
+// Resumable reports whether a journal written under o can be continued by a
+// run configured as m: same plan AND same shard.
+func (m Manifest) Resumable(o Manifest) error {
+	if err := m.SamePlan(o); err != nil {
+		return err
+	}
+	if m.ShardIndex != o.ShardIndex {
+		return fmt.Errorf("%w: shard index %d vs %d", ErrManifestMismatch, m.ShardIndex, o.ShardIndex)
+	}
+	return nil
+}
+
+// WriteManifest writes the manifest into dir atomically: the bytes land in a
+// temp file, are fsync'd, and are renamed over ManifestName so a crash never
+// leaves a partial manifest. The directory is created if needed.
+func WriteManifest(dir string, m Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadManifest loads dir's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.Version != FormatVersion {
+		return Manifest{}, fmt.Errorf("%w: format version %d (this build reads %d)",
+			ErrManifestMismatch, m.Version, FormatVersion)
+	}
+	if m.ShardCount < 1 || m.ShardIndex < 0 || m.ShardIndex >= m.ShardCount {
+		return Manifest{}, fmt.Errorf("%w: shard %d of %d", ErrCorrupt, m.ShardIndex, m.ShardCount)
+	}
+	return m, nil
+}
+
+// HasManifest reports whether dir holds a campaign manifest.
+func HasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+// Record is one journaled trial result: the slot it fills and the
+// campaign-kind-specific payload (JSON of the trial struct).
+type Record struct {
+	Slot    int
+	Payload []byte
+}
+
+// ScanResult is what a journal scan recovered.
+type ScanResult struct {
+	Records []Record
+	// ValidLen is the byte offset of the last fully verified record's
+	// end — where an appending writer may safely continue after
+	// truncating everything beyond it.
+	ValidLen int64
+	// Torn is set when bytes after ValidLen form a partial record (crash
+	// mid-append). The partial record's slots are NOT in Records.
+	Torn bool
+}
+
+// ScanJournal reads dir's journal, verifying every record checksum. slots
+// bounds valid slot numbers (from the manifest). A missing journal file is
+// an empty, clean scan. A torn tail is reported via the result, not an
+// error; corruption before the tail is always an error.
+func ScanJournal(dir string, slots int) (*ScanResult, error) {
+	f, err := os.Open(filepath.Join(dir, JournalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return &ScanResult{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	res := &ScanResult{}
+	var hdr [8]byte
+	switch _, err := io.ReadFull(f, hdr[:]); {
+	case errors.Is(err, io.EOF):
+		// Zero-length file: a writer was created but never flushed.
+		return res, nil
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		res.Torn = true
+		return res, nil
+	case err != nil:
+		return nil, err
+	case hdr != magic:
+		return nil, fmt.Errorf("%w: bad journal magic %q", ErrCorrupt, hdr[:])
+	}
+	res.ValidLen = int64(len(magic))
+
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return res, nil // clean end on a record boundary
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				res.Torn = true
+				return res, nil
+			}
+			return nil, err
+		}
+		slot := binary.LittleEndian.Uint32(rec[0:4])
+		length := binary.LittleEndian.Uint32(rec[4:8])
+		if length > maxPayload {
+			return nil, fmt.Errorf("%w: record at offset %d: payload length %d exceeds limit",
+				ErrCorrupt, res.ValidLen, length)
+		}
+		buf := make([]byte, int(length)+4)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				res.Torn = true
+				return res, nil
+			}
+			return nil, err
+		}
+		payload := buf[:length]
+		sum := binary.LittleEndian.Uint32(buf[length:])
+		crc := crc32.NewIEEE()
+		crc.Write(rec[:])
+		crc.Write(payload)
+		if sum != crc.Sum32() {
+			return nil, fmt.Errorf("%w: record at offset %d: checksum mismatch", ErrCorrupt, res.ValidLen)
+		}
+		if int(slot) >= slots {
+			return nil, fmt.Errorf("%w: record at offset %d: slot %d outside plan of %d",
+				ErrCorrupt, res.ValidLen, slot, slots)
+		}
+		res.Records = append(res.Records, Record{Slot: int(slot), Payload: payload})
+		res.ValidLen += int64(len(rec)) + int64(len(buf))
+	}
+}
+
+// Writer appends checksummed records to a journal in fsync'd batches. It is
+// safe for concurrent use: campaign workers append trial results as they
+// finish. A crash between flushes loses at most the unflushed batch, whose
+// trials simply re-run on resume.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	buf     []byte
+	pending int
+	batch   int
+	flushes int64
+	closed  bool
+}
+
+// OpenWriter opens dir's journal for appending at validLen (from a prior
+// ScanJournal; 0 for a fresh journal), truncating any torn tail beyond it.
+// batch is the number of records per fsync (minimum 1).
+func OpenWriter(dir string, validLen int64, batch int) (*Writer, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, batch: batch}
+	if validLen < int64(len(magic)) {
+		// Fresh (or header-torn) journal: start over with a clean header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		// Drop the torn tail, if any, and position at the clean end.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append buffers one record; every batch-th record flushes the buffer and
+// fsyncs the file.
+func (w *Writer) Append(slot int, payload []byte) error {
+	if slot < 0 || len(payload) > maxPayload {
+		return fmt.Errorf("campaignio: invalid record (slot %d, %d bytes)", slot, len(payload))
+	}
+	var rec [8]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(slot))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(rec[:])
+	crc.Write(payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("campaignio: append to closed journal")
+	}
+	w.buf = append(w.buf, rec[:]...)
+	w.buf = append(w.buf, payload...)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc.Sum32())
+	w.pending++
+	if w.pending >= w.batch {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes and fsyncs any buffered records, leaving the journal tail
+// clean on a record boundary.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	w.pending = 0
+	w.flushes++
+	return nil
+}
+
+// Flushes returns how many fsync'd batches the writer has committed.
+func (w *Writer) Flushes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushes
+}
+
+// Close flushes buffered records and closes the file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	ferr := w.flushLocked()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// MergeScan reads one campaign's shard directories and assembles the full
+// result payloads. It verifies that every manifest describes the same plan,
+// that the shard indices are exactly 0..n-1 for n directories, that every
+// record sits in its owning shard (overlaps and strays are errors), and that
+// the recorded slots form a gap-free prefix of the plan (campaigns truncated
+// by a halting workload journal a shorter prefix — deterministically the
+// same one in every shard). Torn or corrupt journals are hard errors here:
+// merging repairs nothing.
+//
+// It returns the merged (unsharded) manifest and the payloads indexed by
+// slot, len == the covered prefix.
+func MergeScan(dirs []string) (Manifest, [][]byte, error) {
+	if len(dirs) == 0 {
+		return Manifest{}, nil, fmt.Errorf("campaignio: no shard directories to merge")
+	}
+	manifests := make([]Manifest, len(dirs))
+	for i, dir := range dirs {
+		m, err := ReadManifest(dir)
+		if err != nil {
+			return Manifest{}, nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		manifests[i] = m
+	}
+	base := manifests[0]
+	if base.ShardCount != len(dirs) {
+		return Manifest{}, nil, fmt.Errorf("%w: %d shard directories for a %d-way campaign",
+			ErrManifestMismatch, len(dirs), base.ShardCount)
+	}
+	seenShard := make([]string, base.ShardCount)
+	for i, m := range manifests {
+		if err := base.SamePlan(m); err != nil {
+			return Manifest{}, nil, fmt.Errorf("%s: %w", dirs[i], err)
+		}
+		if prev := seenShard[m.ShardIndex]; prev != "" {
+			return Manifest{}, nil, fmt.Errorf("%w: shard %d appears in both %s and %s",
+				ErrManifestMismatch, m.ShardIndex, prev, dirs[i])
+		}
+		seenShard[m.ShardIndex] = dirs[i]
+	}
+
+	payloads := make([][]byte, base.Slots)
+	covered := 0
+	for i, dir := range dirs {
+		m := manifests[i]
+		scan, err := ScanJournal(dir, m.Slots)
+		if err != nil {
+			return Manifest{}, nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		if scan.Torn {
+			return Manifest{}, nil, fmt.Errorf("%s: %w (resume the shard to repair it before merging)",
+				dir, ErrTornTail)
+		}
+		for _, rec := range scan.Records {
+			if !m.Owns(rec.Slot) {
+				return Manifest{}, nil, fmt.Errorf("%s: %w: slot %d belongs to shard %d, not %d",
+					dir, ErrCorrupt, rec.Slot, rec.Slot%m.ShardCount, m.ShardIndex)
+			}
+			if payloads[rec.Slot] != nil {
+				return Manifest{}, nil, fmt.Errorf("%s: %w: slot %d recorded twice",
+					dir, ErrCorrupt, rec.Slot)
+			}
+			payloads[rec.Slot] = rec.Payload
+			if rec.Slot >= covered {
+				covered = rec.Slot + 1
+			}
+		}
+	}
+	// The covered slots must form a gap-free prefix: a hole means a shard
+	// is incomplete (e.g. an interrupted run that was never resumed).
+	missing := 0
+	for slot := 0; slot < covered; slot++ {
+		if payloads[slot] == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		return Manifest{}, nil, fmt.Errorf(
+			"campaignio: %d of the first %d slots missing (shard incomplete — resume it to completion before merging)",
+			missing, covered)
+	}
+
+	merged := base
+	merged.ShardIndex, merged.ShardCount = 0, 1
+	return merged, payloads[:covered], nil
+}
+
+// WriteMerged writes a merged campaign directory: the unsharded manifest
+// plus a journal holding payloads in slot order. The result is resumable —
+// a campaign pointed at it finds every slot complete and re-runs nothing.
+func WriteMerged(dir string, m Manifest, payloads [][]byte) error {
+	if err := WriteManifest(dir, m); err != nil {
+		return err
+	}
+	w, err := OpenWriter(dir, 0, 256)
+	if err != nil {
+		return err
+	}
+	for slot, p := range payloads {
+		if err := w.Append(slot, p); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Some
+// platforms cannot fsync directories; those errors are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -59,6 +59,10 @@ func (s *Store) Capacity() int { return s.capacity }
 // oldest checkpoint is retired: its memory updates become permanent and can
 // no longer be rolled back.
 func (s *Store) Create(regs [32]uint64, pc, retired uint64) {
+	// Re-arm journalling: Clear disables it (there is nothing to roll
+	// back to), and the first new checkpoint is what makes writes worth
+	// recording again.
+	s.mem.EnableJournal()
 	if len(s.cps) == s.capacity {
 		dropped := s.mem.DiscardTo(s.cps[0].mark)
 		s.cps = s.cps[1:]
@@ -118,10 +122,12 @@ func (s *Store) RestoreNewest() (Checkpoint, error) {
 	return cp, nil
 }
 
-// Clear drops all checkpoints, making current memory state permanent.
+// Clear drops all checkpoints, making current memory state permanent, and
+// disables write journalling until the next Create. With zero live
+// checkpoints nothing can ever be rolled back, so continuing to journal
+// would let a store-heavy caller that never checkpoints again accrue an
+// unbounded journal; instead every write is permanent immediately.
 func (s *Store) Clear() {
-	if len(s.cps) > 0 {
-		s.mem.DiscardTo(s.mem.Snapshot())
-	}
+	s.mem.DisableJournal()
 	s.cps = s.cps[:0]
 }

@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/mem"
@@ -202,5 +204,128 @@ func TestMinimumCapacity(t *testing.T) {
 	s := NewStore(newMem(t), 0)
 	if s.Capacity() != 1 {
 		t.Errorf("capacity = %d, want clamped to 1", s.Capacity())
+	}
+}
+
+func TestClearBoundsJournalUntilNextCreate(t *testing.T) {
+	// Regression: Clear used to leave journalling enabled with zero live
+	// checkpoints, so a store-heavy caller that never checkpointed again
+	// accrued an unbounded journal that nothing could ever roll back.
+	m := newMem(t)
+	s := NewStore(m, 2)
+	var regs [32]uint64
+	s.Create(regs, 0x100, 1)
+	if err := m.WriteQ(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Clear()
+
+	for i := uint64(0); i < 64; i++ {
+		if err := m.WriteQ(i*8, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.JournalLen(); n != 0 {
+		t.Fatalf("journal grew to %d records after Clear with no checkpoints", n)
+	}
+
+	// The next Create re-arms journalling and rollback works again.
+	s.Create(regs, 0x200, 2)
+	if err := m.WriteQ(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if m.JournalLen() == 0 {
+		t.Fatal("journalling not re-armed by Create after Clear")
+	}
+	if _, err := s.RestoreNewest(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadQ(0); v != 0 {
+		t.Errorf("[0] = %d after restore, want 0", v)
+	}
+}
+
+// TestRandomizedOpsMatchReferenceModel drives the journal-based store with a
+// random interleaving of Create/RestoreNewest/RestoreOldest/Clear and random
+// writes, comparing every restored state against a reference model that
+// checkpoints by full memory copy. This pins the DiscardTo mark-rebase
+// contract: retiring the oldest checkpoint compacts the journal, and every
+// surviving mark must be rebased by exactly the dropped record count or a
+// later restore unwinds the wrong distance.
+func TestRandomizedOpsMatchReferenceModel(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3} {
+		capacity := capacity
+		t.Run(fmt.Sprintf("cap%d", capacity), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(0xC0FFEE + capacity)))
+			m := newMem(t)
+			s := NewStore(m, capacity)
+
+			// Reference model: full copies, same retirement policy.
+			var refs []*mem.Memory
+
+			write := func() {
+				addr := uint64(rng.Intn(4*mem.PageSize/8)) * 8
+				if err := m.WriteQ(addr, rng.Uint64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var regs [32]uint64
+			for op := 0; op < 2000; op++ {
+				for i, n := 0, rng.Intn(4); i < n; i++ {
+					write()
+				}
+				switch rng.Intn(8) {
+				case 0, 1, 2, 3: // bias toward Create to exercise retirement
+					s.Create(regs, uint64(op), uint64(op))
+					if len(refs) == capacity {
+						refs = refs[1:]
+					}
+					refs = append(refs, m.Clone())
+				case 4, 5:
+					_, err := s.RestoreNewest()
+					if len(refs) == 0 {
+						if err == nil {
+							t.Fatalf("op %d: RestoreNewest succeeded on empty store", op)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("op %d: RestoreNewest: %v", op, err)
+					}
+					want := refs[len(refs)-1]
+					refs = refs[:len(refs)-1]
+					if !m.Equal(want) {
+						addr, _ := m.FirstDifference(want)
+						t.Fatalf("op %d: RestoreNewest state diverged at %#x", op, addr)
+					}
+				case 6:
+					_, err := s.RestoreOldest()
+					if len(refs) == 0 {
+						if err == nil {
+							t.Fatalf("op %d: RestoreOldest succeeded on empty store", op)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("op %d: RestoreOldest: %v", op, err)
+					}
+					want := refs[0]
+					refs = refs[:0]
+					if !m.Equal(want) {
+						addr, _ := m.FirstDifference(want)
+						t.Fatalf("op %d: RestoreOldest state diverged at %#x", op, addr)
+					}
+				case 7:
+					s.Clear()
+					refs = refs[:0]
+					if m.JournalLen() != 0 {
+						t.Fatalf("op %d: Clear left %d journal records", op, m.JournalLen())
+					}
+				}
+				if s.Len() != len(refs) {
+					t.Fatalf("op %d: store len %d != model len %d", op, s.Len(), len(refs))
+				}
+			}
+		})
 	}
 }

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"strconv"
 
 	"repro/internal/fit"
@@ -47,6 +48,46 @@ type Options struct {
 	// microarchitectural campaigns (tests use a tiny WatchdogCycles to
 	// force truncated campaigns; nil = pipeline.DefaultConfig).
 	Pipeline *pipeline.Config
+	// CampaignRoot, if non-empty, makes every injection campaign durable:
+	// each campaign journals completed trials into
+	// CampaignRoot/<CampaignID> (see internal/campaignio) and a rerun of
+	// the same experiment resumes from the journal, re-running only the
+	// missing trials. Results are byte-identical to a non-durable run.
+	CampaignRoot string
+	// ShardIndex and ShardCount split every campaign's trial slots across
+	// cooperating processes: slot s belongs to the shard with
+	// s % ShardCount == ShardIndex. Sharding requires CampaignRoot; the
+	// shard journals are merged with inject.MergeUArch/MergeVM or the
+	// `restore-sim merge` subcommand. Zero values mean unsharded.
+	ShardIndex int
+	ShardCount int
+	// Interrupt, if non-nil, stops every campaign at the next trial
+	// boundary once the channel is closed. Durable campaigns drain and
+	// flush their journal first; the experiment then returns an error
+	// wrapping inject.ErrInterrupted.
+	Interrupt <-chan struct{}
+}
+
+// vmCampaign copies the durability options into a software-level campaign
+// configuration.
+func (o Options) vmCampaign(cfg inject.VMConfig) inject.VMConfig {
+	cfg.Interrupt = o.Interrupt
+	if o.CampaignRoot != "" {
+		cfg.ResumeFrom = filepath.Join(o.CampaignRoot, cfg.CampaignID())
+		cfg.ShardIndex, cfg.ShardCount = o.ShardIndex, o.ShardCount
+	}
+	return cfg
+}
+
+// uarchCampaign copies the durability options into a microarchitectural
+// campaign configuration.
+func (o Options) uarchCampaign(cfg inject.UArchConfig) inject.UArchConfig {
+	cfg.Interrupt = o.Interrupt
+	if o.CampaignRoot != "" {
+		cfg.ResumeFrom = filepath.Join(o.CampaignRoot, cfg.CampaignID())
+		cfg.ShardIndex, cfg.ShardCount = o.ShardIndex, o.ShardCount
+	}
+	return cfg
 }
 
 func (o *Options) applyDefaults() {
@@ -93,7 +134,7 @@ func Fig2(opts Options, low32 bool) (*Fig2Result, error) {
 		PerBench: make(map[workload.Benchmark]*inject.VMResult, len(opts.Benchmarks)),
 	}
 	for _, bench := range opts.Benchmarks {
-		r, err := inject.RunVM(inject.VMConfig{
+		r, err := inject.RunVM(opts.vmCampaign(inject.VMConfig{
 			Bench:    bench,
 			Seed:     opts.Seed,
 			Scale:    opts.Scale,
@@ -103,7 +144,7 @@ func Fig2(opts Options, low32 bool) (*Fig2Result, error) {
 			Workers:  opts.Workers,
 			Progress: opts.Progress,
 			Obs:      opts.Obs,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("fig2 %s: %w", bench, err)
 		}
@@ -152,7 +193,7 @@ func Campaign(opts Options, cc CampaignConfig) (*UArchExperiment, error) {
 		PerBench:    make(map[workload.Benchmark]*inject.UArchResult, len(opts.Benchmarks)),
 	}
 	for _, bench := range opts.Benchmarks {
-		r, err := inject.RunUArch(inject.UArchConfig{
+		r, err := inject.RunUArch(opts.uarchCampaign(inject.UArchConfig{
 			Bench:          bench,
 			Seed:           opts.Seed,
 			Scale:          opts.Scale,
@@ -165,7 +206,7 @@ func Campaign(opts Options, cc CampaignConfig) (*UArchExperiment, error) {
 			Workers:        opts.Workers,
 			Progress:       opts.Progress,
 			Obs:            opts.Obs,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("uarch campaign %s: %w", bench, err)
 		}

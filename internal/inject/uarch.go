@@ -1,11 +1,13 @@
 package inject
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/campaignio"
 	"repro/internal/harden"
 	"repro/internal/isa"
 	"repro/internal/obs"
@@ -72,6 +74,29 @@ type UArchConfig struct {
 	// Purely observational: results are byte-identical with or without a
 	// sink.
 	Obs obs.Sink
+
+	// ResumeFrom, if non-empty, makes the campaign durable: a manifest and
+	// an append-only checksummed trial journal live in this directory
+	// (internal/campaignio). Slots already journalled are loaded instead
+	// of re-run, and newly completed trials are appended, so an
+	// interrupted campaign pointed back at the same directory continues
+	// where it stopped — with results byte-identical to a one-shot run.
+	// The manifest is validated against this configuration's plan
+	// fingerprint; a mismatch is an error, never a silent overwrite.
+	ResumeFrom string
+
+	// ShardIndex/ShardCount partition the pre-drawn trial plan across
+	// processes: shard i of n runs the slots s with s%n == i. Each shard
+	// journals into its own ResumeFrom directory; MergeUArch (or the
+	// restore-sim merge subcommand) reassembles the full result. Zero
+	// ShardCount means unsharded. Sharding requires ResumeFrom.
+	ShardIndex int
+	ShardCount int
+
+	// Interrupt, if non-nil, stops the campaign cleanly when it becomes
+	// readable: in-flight trials drain, the journal tail is flushed, and
+	// RunUArch returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 func (c *UArchConfig) applyDefaults() {
@@ -95,6 +120,9 @@ func (c *UArchConfig) applyDefaults() {
 	}
 	if c.BurstBits == 0 {
 		c.BurstBits = 1
+	}
+	if c.ShardCount == 0 {
+		c.ShardCount = 1
 	}
 }
 
@@ -149,8 +177,18 @@ type uarchPick struct {
 // (a short workload at small Scale ends before the spread is exhausted),
 // the remaining points are truncated and the partial result is returned
 // with TotalBits and the completed Trials populated.
+//
+// With ResumeFrom set the campaign is durable: completed trials are
+// journalled and recovered on the next run (see the package comment in
+// journal.go). With ShardCount > 1 only the owned slots run — the returned
+// result is partial (other shards' slots are zero-valued) and MergeUArch
+// reassembles the full one. When Interrupt fires, in-flight trials drain,
+// the journal flushes, and RunUArch returns ErrInterrupted.
 func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	cfg.applyDefaults()
+	if err := validateSharding(cfg.ResumeFrom, cfg.ShardIndex, cfg.ShardCount); err != nil {
+		return nil, err
+	}
 	prog, err := workload.Generate(cfg.Bench, workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
 		return nil, err
@@ -210,11 +248,67 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 		picks[i] = uarchPick{ref: ref, isLatch: isLatch}
 	}
 
+	// Durable campaigns: validate/write the manifest, recover already
+	// journalled slots (decoded straight into their result slots), and
+	// append every newly completed trial. All randomness is pre-drawn
+	// above, so skipping recovered slots cannot perturb the RNG stream.
+	var jr *campaignJournal
+	trials := make([]UArchTrial, len(picks))
+	done := make([]bool, len(picks))
+	if cfg.ResumeFrom != "" {
+		man, err := cfg.manifest(result)
+		if err != nil {
+			return nil, err
+		}
+		var loaded [][]byte
+		jr, loaded, err = openCampaignJournal(cfg.ResumeFrom, man)
+		if err != nil {
+			return nil, err
+		}
+		for slot, p := range loaded {
+			if p == nil {
+				continue
+			}
+			if err := json.Unmarshal(p, &trials[slot]); err != nil {
+				jr.finish(nil, "")
+				return nil, fmt.Errorf("inject: %s: %w: slot %d: %v",
+					cfg.ResumeFrom, campaignio.ErrCorrupt, slot, err)
+			}
+			done[slot] = true
+		}
+	}
+	owns := func(slot int) bool {
+		return cfg.ShardCount <= 1 || slot%cfg.ShardCount == cfg.ShardIndex
+	}
+	// pointLoaded reports whether EVERY slot of a point was recovered from
+	// the journal — only then is golden recording skippable (see journal.go
+	// on why ownership alone is not enough: truncation detection must stay
+	// identical across shards).
+	pointLoaded := func(pi int) bool {
+		for t := 0; t < cfg.TrialsPerPoint; t++ {
+			if !done[pi*cfg.TrialsPerPoint+t] {
+				return false
+			}
+		}
+		return true
+	}
+	// totalTrials sizes the progress meter to the slots this run is
+	// responsible for: owned slots, whether recovered or re-run.
+	totalTrials := 0
+	for slot := range picks {
+		if owns(slot) {
+			totalTrials++
+		}
+	}
+
 	master.RunCycles(cfg.WarmupCycles)
 	if master.Status() != pipeline.StatusRunning {
 		// The program ended inside warm-up: nothing to inject into.
 		result.Trials = []UArchTrial{}
 		recordUArchTelemetry(cfg.Obs, result, true, wall.Stop())
+		if err := jr.finish(cfg.Obs, "campaign_uarch"); err != nil {
+			return nil, err
+		}
 		return result, nil
 	}
 
@@ -223,12 +317,15 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 		hits:   cfg.Obs.Counter("campaign_uarch_clone_pool_hits_total"),
 		misses: cfg.Obs.Counter("campaign_uarch_clone_pool_misses_total"),
 	}
-	trials := make([]UArchTrial, len(picks))
-	totalTrials := len(picks)
 	pointsRun := 0
+	stopped := false
 
 	base := cfg.WarmupCycles
 	for pi, off := range offsets {
+		if interrupted(cfg.Interrupt) {
+			stopped = true
+			break
+		}
 		target := cfg.WarmupCycles + off
 		if target > base {
 			master.RunCycles(target - base)
@@ -238,11 +335,24 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 			break // program ended mid-spread: truncate remaining points
 		}
 
+		// A point whose every slot was recovered needs no golden trace
+		// and no trials; the master walks on to the next point.
+		if pointLoaded(pi) {
+			for t := 0; t < cfg.TrialsPerPoint; t++ {
+				if owns(pi*cfg.TrialsPerPoint + t) {
+					eng.done(cfg.Progress, totalTrials)
+				}
+			}
+			pointsRun = pi + 1
+			continue
+		}
+
 		// Golden-trace recording stays on the dispatching goroutine;
 		// the master cannot be shared with in-flight trials.
 		trace, err := recordGolden(master, cfg.WindowCycles)
 		if err != nil {
 			eng.wait()
+			jr.finish(cfg.Obs, "campaign_uarch")
 			return nil, err
 		}
 		if trace == nil {
@@ -251,6 +361,17 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 
 		for t := 0; t < cfg.TrialsPerPoint; t++ {
 			slot := pi*cfg.TrialsPerPoint + t
+			if !owns(slot) {
+				continue // another shard's slot
+			}
+			if done[slot] {
+				eng.done(cfg.Progress, totalTrials)
+				continue // recovered from the journal
+			}
+			if interrupted(cfg.Interrupt) {
+				stopped = true
+				break
+			}
 			pick := picks[slot]
 			elem := space.Elements()[pick.ref.Elem]
 
@@ -273,6 +394,7 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 				// cause failure.
 				trial.Protected = true
 				trials[slot] = trial
+				jr.record(slot, &trials[slot])
 				eng.done(cfg.Progress, totalTrials)
 				continue
 			}
@@ -284,16 +406,67 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 			eng.submit(func() {
 				runUArchTrial(faulty, ref, cfg.BurstBits, trace, cfg.WindowCycles, &trial)
 				trials[slot] = trial
+				jr.record(slot, &trials[slot])
 				pool.release(faulty)
 				eng.done(cfg.Progress, totalTrials)
 			})
 		}
+		if stopped {
+			break
+		}
 		pointsRun = pi + 1
 	}
 	eng.wait()
+	if stopped {
+		// Drained workers have journalled their trials; flush the tail so
+		// a resumed run recovers every completed slot.
+		cfg.Obs.Counter("campaign_uarch_interrupted_total").Inc()
+		if err := jr.finish(cfg.Obs, "campaign_uarch"); err != nil {
+			return nil, err
+		}
+		return nil, ErrInterrupted
+	}
 	result.Trials = trials[:pointsRun*cfg.TrialsPerPoint]
 	recordUArchTelemetry(cfg.Obs, result, pointsRun < cfg.Points, wall.Stop())
+	if err := jr.finish(cfg.Obs, "campaign_uarch"); err != nil {
+		return nil, err
+	}
 	return result, nil
+}
+
+// manifest builds the durable-campaign manifest for this configuration.
+// result supplies the geometry aggregates (Aux) that a merge reconstructs
+// without building a pipeline. The receiver must already have defaults
+// applied.
+func (c UArchConfig) manifest(result *UArchResult) (campaignio.Manifest, error) {
+	aux, err := json.Marshal(uarchAux{
+		TotalBits: result.TotalBits,
+		LatchBits: result.LatchBits,
+		HardenStats: hardenStatsJSON{
+			TotalBits:    result.HardenStats.TotalBits,
+			ECCBits:      result.HardenStats.ECCBits,
+			ParityBits:   result.HardenStats.ParityBits,
+			OverheadBits: result.HardenStats.OverheadBits,
+		},
+	})
+	if err != nil {
+		return campaignio.Manifest{}, err
+	}
+	shards := c.ShardCount
+	if shards == 0 {
+		shards = 1
+	}
+	return campaignio.Manifest{
+		Version:    campaignio.FormatVersion,
+		Kind:       "uarch",
+		ConfigHash: fingerprint(c.planString()),
+		Seed:       c.Seed,
+		Bench:      string(c.Bench),
+		Slots:      c.Points * c.TrialsPerPoint,
+		ShardIndex: c.ShardIndex,
+		ShardCount: shards,
+		Aux:        aux,
+	}, nil
 }
 
 // pickBitAttempts bounds the rejection sampler. Latches are the majority of

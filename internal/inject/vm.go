@@ -1,12 +1,14 @@
 package inject
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/campaignio"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -59,6 +61,24 @@ type VMConfig struct {
 	// namespace. Purely observational: results are byte-identical with or
 	// without a sink.
 	Obs obs.Sink
+
+	// ResumeFrom, if non-empty, makes the campaign durable: a manifest and
+	// an append-only checksummed trial journal live in this directory
+	// (internal/campaignio). Journalled slots are recovered instead of
+	// re-run; results are byte-identical to a one-shot run.
+	ResumeFrom string
+
+	// ShardIndex/ShardCount partition the trial plan across processes:
+	// shard i of n runs the slots s with s%n == i, journalling into its
+	// own ResumeFrom directory; MergeVM reassembles the full result. Zero
+	// ShardCount means unsharded. Sharding requires ResumeFrom.
+	ShardIndex int
+	ShardCount int
+
+	// Interrupt, if non-nil, stops the campaign cleanly when it becomes
+	// readable: in-flight trials drain, the journal tail is flushed, and
+	// RunVM returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 func (c *VMConfig) applyDefaults() {
@@ -82,6 +102,28 @@ func (c *VMConfig) applyDefaults() {
 	}
 	if c.Window == 0 {
 		c.Window = 100_000
+	}
+	if c.ShardCount == 0 {
+		c.ShardCount = 1
+	}
+}
+
+// manifest builds the durable-campaign manifest for this configuration. The
+// receiver must already have defaults applied.
+func (c VMConfig) manifest() campaignio.Manifest {
+	shards := c.ShardCount
+	if shards == 0 {
+		shards = 1
+	}
+	return campaignio.Manifest{
+		Version:    campaignio.FormatVersion,
+		Kind:       "vm",
+		ConfigHash: fingerprint(c.planString()),
+		Seed:       c.Seed,
+		Bench:      string(c.Bench),
+		Slots:      c.Trials,
+		ShardIndex: c.ShardIndex,
+		ShardCount: shards,
 	}
 }
 
@@ -124,8 +166,18 @@ func (r *VMResult) Distribution(latency uint64) map[string]float64 {
 // If the golden program halts before an injection point or inside a golden
 // observation window (a short workload at small Scale), the remaining
 // points are truncated and the partial result is returned.
+//
+// With ResumeFrom set the campaign is durable: completed trials are
+// journalled and recovered on the next run (see the package comment in
+// journal.go). With ShardCount > 1 only the owned slots run — the returned
+// result is partial and MergeVM reassembles the full one. When Interrupt
+// fires, in-flight trials drain, the journal flushes, and RunVM returns
+// ErrInterrupted.
 func RunVM(cfg VMConfig) (*VMResult, error) {
 	cfg.applyDefaults()
+	if err := validateSharding(cfg.ResumeFrom, cfg.ShardIndex, cfg.ShardCount); err != nil {
+		return nil, err
+	}
 	prog, err := workload.Generate(cfg.Bench, workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
 		return nil, err
@@ -167,6 +219,39 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	eng := newEngine(cfg.Workers, cfg.Obs, "campaign_vm")
 	parallel := cfg.Workers > 1
 	trials := make([]VMTrial, cfg.Trials)
+
+	// Durable campaigns: recover journalled slots into their result slots
+	// up front; every bit pick is pre-drawn above, so skipping them cannot
+	// perturb the RNG stream.
+	var jr *campaignJournal
+	doneSlots := make([]bool, cfg.Trials)
+	if cfg.ResumeFrom != "" {
+		var loaded [][]byte
+		jr, loaded, err = openCampaignJournal(cfg.ResumeFrom, cfg.manifest())
+		if err != nil {
+			return nil, err
+		}
+		for slot, p := range loaded {
+			if p == nil {
+				continue
+			}
+			if err := json.Unmarshal(p, &trials[slot]); err != nil {
+				jr.finish(nil, "")
+				return nil, fmt.Errorf("inject: %s: %w: slot %d: %v",
+					cfg.ResumeFrom, campaignio.ErrCorrupt, slot, err)
+			}
+			doneSlots[slot] = true
+		}
+	}
+	owns := func(slot int) bool {
+		return cfg.ShardCount <= 1 || slot%cfg.ShardCount == cfg.ShardIndex
+	}
+	totalTrials := 0
+	for slot := 0; slot < cfg.Trials; slot++ {
+		if owns(slot) {
+			totalTrials++
+		}
+	}
 	// Workers hold references into the golden slice while the dispatcher
 	// records the next point's, so the parallel engine allocates a fresh
 	// slice per point; the serial engine reuses one, as it always has.
@@ -182,13 +267,19 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 
 	filled := 0
 	truncated := false
+	stopped := false
 	for pi, point := range points {
+		if interrupted(cfg.Interrupt) {
+			stopped = true
+			break
+		}
 		// Advance the golden simulator to the injection point.
 		for sim.InstRet < point && !sim.Stopped() {
 			sim.Step()
 		}
 		if sim.Excepted {
 			eng.wait()
+			jr.finish(cfg.Obs, "campaign_vm")
 			return nil, fmt.Errorf("inject: golden run excepted at %d: %v", sim.InstRet, sim.LastException)
 		}
 		if sim.Halted {
@@ -202,6 +293,7 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 			injEv = sim.Step()
 			if injEv.Exception != arch.ExcNone {
 				eng.wait()
+				jr.finish(cfg.Obs, "campaign_vm")
 				return nil, fmt.Errorf("inject: golden exception at %#x", injEv.PC)
 			}
 			if injEv.Halted {
@@ -216,6 +308,35 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 			break
 		}
 
+		n := trialsPerPoint
+		if pi < extra {
+			n++
+		}
+
+		// A point whose every slot was recovered from the journal needs
+		// no golden window and no trials. Executing the injection
+		// instruction above already left memory, simulator and write
+		// journal exactly where the full path's final rewind leaves them.
+		// Ownership alone is NOT enough to skip: recording the window is
+		// what detects workload truncation, and that detection must stay
+		// identical across shards (see journal.go).
+		pointDone := true
+		for t := 0; t < n; t++ {
+			if !doneSlots[filled+t] {
+				pointDone = false
+				break
+			}
+		}
+		if pointDone {
+			for t := 0; t < n; t++ {
+				if owns(filled + t) {
+					eng.done(cfg.Progress, totalTrials)
+				}
+			}
+			filled += n
+			continue
+		}
+
 		// Record the golden continuation once.
 		preRegs := sim.Snapshot()
 		preMark := m.Snapshot()
@@ -228,6 +349,7 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 			ev := sim.Step()
 			if ev.Exception != arch.ExcNone {
 				eng.wait()
+				jr.finish(cfg.Obs, "campaign_vm")
 				return nil, fmt.Errorf("inject: golden exception at %#x", ev.PC)
 			}
 			if ev.Halted {
@@ -241,10 +363,6 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 		}
 		goldenEnd := sim.Snapshot()
 
-		n := trialsPerPoint
-		if pi < extra {
-			n++
-		}
 		if parallel {
 			// Rewind the master once, then fork an independent memory
 			// image and simulator per trial; the dispatcher clones (the
@@ -255,6 +373,17 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 			goldenTrace := golden
 			for t := 0; t < n; t++ {
 				slot := filled + t
+				if !owns(slot) {
+					continue // another shard's slot
+				}
+				if doneSlots[slot] {
+					eng.done(cfg.Progress, totalTrials)
+					continue // recovered from the journal
+				}
+				if interrupted(cfg.Interrupt) {
+					stopped = true
+					break
+				}
 				bit := bits[slot]
 				var fm *mem.Memory
 				if v := memPool.Get(); v != nil {
@@ -274,13 +403,25 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 					trial.Point = injPC
 					trial.Bit = bit
 					trials[slot] = trial
+					jr.record(slot, &trials[slot])
 					memPool.Put(fm)
-					eng.done(cfg.Progress, cfg.Trials)
+					eng.done(cfg.Progress, totalTrials)
 				})
 			}
 		} else {
 			for t := 0; t < n; t++ {
 				slot := filled + t
+				if !owns(slot) {
+					continue // another shard's slot
+				}
+				if doneSlots[slot] {
+					eng.done(cfg.Progress, totalTrials)
+					continue // recovered from the journal
+				}
+				if interrupted(cfg.Interrupt) {
+					stopped = true
+					break
+				}
 				bit := bits[slot]
 
 				// Rewind to the injection point and corrupt the result.
@@ -292,8 +433,12 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 				trial.Point = injEv.PC
 				trial.Bit = bit
 				trials[slot] = trial
-				eng.done(cfg.Progress, cfg.Trials)
+				jr.record(slot, &trials[slot])
+				eng.done(cfg.Progress, totalTrials)
 			}
+		}
+		if stopped {
+			break
 		}
 
 		// Rewind once more and make the golden continuation permanent
@@ -304,10 +449,22 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 		filled += n
 	}
 	eng.wait()
+	if stopped {
+		// Drained workers have journalled their trials; flush the tail so
+		// a resumed run recovers every completed slot.
+		cfg.Obs.Counter("campaign_vm_interrupted_total").Inc()
+		if err := jr.finish(cfg.Obs, "campaign_vm"); err != nil {
+			return nil, err
+		}
+		return nil, ErrInterrupted
+	}
 	result.Trials = trials[:filled]
 	// filled < Trials covers both truncation paths (halt before a point and
 	// halt inside a window).
 	recordVMTelemetry(cfg.Obs, result, filled < cfg.Trials, wall.Stop())
+	if err := jr.finish(cfg.Obs, "campaign_vm"); err != nil {
+		return nil, err
+	}
 	return result, nil
 }
 

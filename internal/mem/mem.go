@@ -260,6 +260,16 @@ func (m *Memory) EnableJournal() {
 	m.journalOn = true
 }
 
+// DisableJournal stops recording old values and drops any accumulated
+// records without undoing them (the current state becomes permanent). The
+// checkpoint store uses this when it clears its checkpoints: with nothing
+// live to roll back to, continuing to journal every write would grow the
+// journal without bound.
+func (m *Memory) DisableJournal() {
+	m.journalOn = false
+	m.journal = m.journal[:0]
+}
+
 // JournalLen returns the current number of journal records.
 func (m *Memory) JournalLen() int { return len(m.journal) }
 
@@ -269,8 +279,13 @@ func (m *Memory) JournalLen() int { return len(m.journal) }
 func (m *Memory) Snapshot() Mark { return Mark(len(m.journal)) }
 
 // RestoreTo rolls memory back to the state it had at the mark, undoing
-// journal records newest-first.
+// journal records newest-first. Marks clamp to the journal bounds: a
+// negative mark (a stale mark rebased past a larger DiscardTo) undoes the
+// whole journal rather than panicking.
 func (m *Memory) RestoreTo(mark Mark) {
+	if mark < 0 {
+		mark = 0
+	}
 	for i := len(m.journal) - 1; i >= int(mark); i-- {
 		rec := m.journal[i]
 		p := m.pages[rec.addr>>PageBits]
@@ -280,15 +295,22 @@ func (m *Memory) RestoreTo(mark Mark) {
 		off := rec.addr & offsetMask
 		copy(p.data[off:off+uint64(rec.n)], rec.old[:rec.n])
 	}
-	m.journal = m.journal[:mark]
+	if int(mark) < len(m.journal) {
+		m.journal = m.journal[:mark]
+	}
 }
 
 // DiscardTo forgets journal records older than the mark without undoing
 // them, making the state up to the mark permanent. Used when the oldest
 // checkpoint is retired. It returns the number of records dropped; callers
-// holding later marks must rebase them by subtracting that amount.
+// holding later marks must rebase them by subtracting that amount. Marks
+// clamp to the journal bounds, so a negative (over-rebased) mark discards
+// nothing instead of panicking.
 func (m *Memory) DiscardTo(mark Mark) int {
 	n := int(mark)
+	if n < 0 {
+		n = 0
+	}
 	if n > len(m.journal) {
 		n = len(m.journal)
 	}

@@ -351,3 +351,97 @@ func TestCopyFromMatchesClone(t *testing.T) {
 		t.Errorf("source mutated through CopyFrom alias: v=%d err=%v", v, err)
 	}
 }
+
+func TestRestoreToNegativeMarkClamps(t *testing.T) {
+	// Regression: a Mark that went negative (e.g. rebased past zero by a
+	// buggy caller) used to panic in the journal truncation. It must behave
+	// like RestoreTo(0): undo everything.
+	m := New()
+	m.Map(0, PageSize, PermRW)
+	m.EnableJournal()
+	if err := m.WriteQ(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteQ(8, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.RestoreTo(Mark(-5))
+	if v, _ := m.ReadQ(0); v != 0 {
+		t.Errorf("[0] = %d after negative restore, want 0", v)
+	}
+	if v, _ := m.ReadQ(8); v != 0 {
+		t.Errorf("[8] = %d after negative restore, want 0", v)
+	}
+	if m.JournalLen() != 0 {
+		t.Errorf("journal len = %d, want 0", m.JournalLen())
+	}
+}
+
+func TestRestoreToOverlongMarkIsNoop(t *testing.T) {
+	// A mark beyond the journal end undoes nothing and must not panic.
+	m := New()
+	m.Map(0, PageSize, PermRW)
+	m.EnableJournal()
+	if err := m.WriteQ(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	m.RestoreTo(Mark(99))
+	if v, _ := m.ReadQ(0); v != 7 {
+		t.Errorf("[0] = %d, want 7 (overlong mark must not unwind)", v)
+	}
+}
+
+func TestDiscardToNegativeMarkClamps(t *testing.T) {
+	// Regression: DiscardTo(Mark(-1)) used to panic; it must behave like
+	// DiscardTo(0) — nothing before the mark, so nothing becomes permanent
+	// and the journal is untouched.
+	m := New()
+	m.Map(0, PageSize, PermRW)
+	m.EnableJournal()
+	if err := m.WriteQ(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := m.DiscardTo(Mark(-1)); dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
+	}
+	if m.JournalLen() != 1 {
+		t.Errorf("journal len = %d, want 1", m.JournalLen())
+	}
+	m.RestoreTo(0)
+	if v, _ := m.ReadQ(0); v != 0 {
+		t.Errorf("[0] = %d, want 0 (write must still be undoable)", v)
+	}
+}
+
+func TestDisableJournal(t *testing.T) {
+	m := New()
+	m.Map(0, PageSize, PermRW)
+	m.EnableJournal()
+	if err := m.WriteQ(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.DisableJournal()
+	if m.JournalLen() != 0 {
+		t.Errorf("journal len = %d after disable, want 0", m.JournalLen())
+	}
+	// Current state is permanent, not rolled back.
+	if v, _ := m.ReadQ(0); v != 1 {
+		t.Errorf("[0] = %d, want 1", v)
+	}
+	// Further writes are not recorded.
+	if err := m.WriteQ(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.JournalLen() != 0 {
+		t.Errorf("journal still recording after disable: %d", m.JournalLen())
+	}
+	// Re-enabling resumes recording from the current state.
+	m.EnableJournal()
+	if err := m.WriteQ(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	m.RestoreTo(0)
+	if v, _ := m.ReadQ(0); v != 2 {
+		t.Errorf("[0] = %d, want 2 (restore floor is the re-enable point)", v)
+	}
+}

@@ -103,6 +103,9 @@ func (l *LoadValueQueue) Append(rec LoadRecord) {
 	l.used[slot] = true
 }
 
+// Len returns the queue capacity.
+func (l *LoadValueQueue) Len() int { return len(l.buf) }
+
 // Lookup returns the recorded load for the architectural index, if resident.
 func (l *LoadValueQueue) Lookup(index uint64) (LoadRecord, bool) {
 	slot := index % uint64(len(l.buf))

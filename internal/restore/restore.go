@@ -103,6 +103,25 @@ type Config struct {
 	Trace *obs.Trace
 }
 
+// Validate reports configuration errors that applyDefaults cannot repair.
+// Zero values mean "use the default"; negative sizes are contradictions (a
+// backwards checkpoint store, a sub-empty event log) and are rejected
+// instead of being silently clamped, so a caller that computed a size wrong
+// hears about it. (Interval and the tuning windows are unsigned and cannot
+// go negative.)
+func (c Config) Validate() error {
+	if c.Checkpoints < 0 {
+		return fmt.Errorf("restore: negative Checkpoints %d", c.Checkpoints)
+	}
+	if c.EventLogSize < 0 {
+		return fmt.Errorf("restore: negative EventLogSize %d", c.EventLogSize)
+	}
+	if c.Policy != 0 && c.Policy != PolicyImmediate && c.Policy != PolicyDelayed {
+		return fmt.Errorf("restore: unknown Policy %d", c.Policy)
+	}
+	return nil
+}
+
 func (c *Config) applyDefaults() {
 	if c.Interval == 0 {
 		c.Interval = 100
@@ -212,8 +231,12 @@ type Processor struct {
 
 // New wraps a pipeline. The pipeline must be freshly positioned at an
 // architecturally clean point (its in-flight state is absorbed into the
-// first checkpoint).
+// first checkpoint). An invalid configuration (Config.Validate) is a
+// programming error and panics; call Validate first to handle it as data.
 func New(pipe *pipeline.Pipeline, cfg Config) *Processor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg.applyDefaults()
 	p := &Processor{
 		pipe:       pipe,

@@ -417,3 +417,66 @@ func TestEventLog(t *testing.T) {
 		t.Errorf("clamped len = %d", l2.Len())
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero-is-defaulted", Config{}, true},
+		{"explicit", Config{Interval: 100, Checkpoints: 2, EventLogSize: 64, Policy: PolicyDelayed}, true},
+		{"negative-checkpoints", Config{Checkpoints: -1}, false},
+		{"negative-eventlog", Config{EventLogSize: -64}, false},
+		{"unknown-policy", Config{Policy: Policy(77)}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	// Regression: a negative EventLogSize used to slip past the zero-only
+	// defaulting and blow up later (modulo by a ring of negative size). It
+	// must be rejected up front.
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 42, Scale: 0.25})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted EventLogSize -1")
+		}
+	}()
+	New(pipe, Config{EventLogSize: -1})
+}
+
+func TestEventLogSizeClamps(t *testing.T) {
+	// Regression: size <= 0 used to divide by zero in the ring indexing.
+	for _, size := range []int{0, -3} {
+		if got := NewEventLog(size).Len(); got != 1 {
+			t.Errorf("NewEventLog(%d).Len() = %d, want 1", size, got)
+		}
+		if got := NewLoadValueQueue(size).Len(); got != 1 {
+			t.Errorf("NewLoadValueQueue(%d).Len() = %d, want 1", size, got)
+		}
+	}
+	// The clamped ring must still be usable.
+	l := NewEventLog(0)
+	l.Append(BranchRecord{Index: 5, Taken: true})
+	if _, ok := l.Lookup(5); !ok {
+		t.Error("clamped event log lost its record")
+	}
+	q := NewLoadValueQueue(-1)
+	q.Append(LoadRecord{Index: 9, Value: 3})
+	if rec, ok := q.Lookup(9); !ok || rec.Value != 3 {
+		t.Error("clamped load value queue lost its record")
+	}
+}
