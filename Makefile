@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench telemetry resume clean
+.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench telemetry resume protect clean
 
 all: build test lint
 
@@ -65,6 +65,16 @@ telemetry:
 # one-shot run (tools/resume_smoke.sh; CI's durable-campaigns job).
 resume:
 	sh ./tools/resume_smoke.sh
+
+# The static→hardening loop: derive budgeted protection policies from the
+# bit-level static analysis (JSON + predicted coverage, no injection), then
+# measure them against the hand-picked parity/ECC placement and sweep the
+# check-bit budget on small campaigns. Paper-scale measurement is the
+# TestProtectAcceptance gate under `make test`.
+protect:
+	$(GO) run ./cmd/restore-sim protect
+	$(GO) run ./cmd/restore-sim -trials 0.1 protect-compare
+	$(GO) run ./cmd/restore-sim -trials 0.1 budget-sweep
 
 clean:
 	$(GO) clean ./...

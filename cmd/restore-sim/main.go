@@ -22,6 +22,12 @@
 //	ablate-ckpt   sweep the number of live checkpoints (reach vs cost)
 //	vulnerability per-structure failure breakdown (AVF-style)
 //	analyze       static bit-level ACE/AVF prediction per benchmark (no injection)
+//	protect       derive budgeted protection policies from the static analysis
+//	              and emit them as JSON with predicted coverage (no injection)
+//	protect-compare
+//	              measure the derived policies against the hand-picked
+//	              parity/ECC placement at equal check-bit budget
+//	budget-sweep  coverage vs check-bit budget for the static optimizer
 //	demo          run the ReStore processor and print its activity report
 //	all           everything above, in order
 //
@@ -85,6 +91,8 @@ type cli struct {
 	csv      bool
 	interval uint64
 	perBench bool
+	budget   uint64
+	budgets  string
 
 	// campaigns are deterministic for fixed options, so `all` shares one
 	// campaign across the figures that reclassify the same trials.
@@ -113,11 +121,13 @@ func run(args []string) error {
 		out       = fs.String("out", "", "campaign directory: journal completed trials under this directory and resume from it on rerun; results are identical either way")
 		shard     = fs.String("shard", "", "run shard k/n of every campaign (1-based, e.g. 1/4); requires -out, combine shard directories with the merge subcommand")
 		stopAfter = fs.Int("stop-after", 0, "interrupt the run after this many trial completions (deterministic stand-in for ctrl-C; mainly for tests and CI)")
+		budget    = fs.Uint64("budget", 0, "check-bit budget for the protect subcommand (0 = the hand-picked placement's overhead)")
+		budgets   = fs.String("budgets", "", "comma-separated check-bit budgets for budget-sweep (default 0,416,832,1664,3328,6656)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n")
 		fmt.Fprintf(fs.Output(), "       restore-sim merge -out <merged-dir> <shard-dir>...\n\n")
-		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability analyze demo all\n\n")
+		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability analyze protect protect-compare budget-sweep demo all\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -165,6 +175,8 @@ func run(args []string) error {
 		csv:      *csv,
 		interval: *interval,
 		perBench: *perBench,
+		budget:   *budget,
+		budgets:  *budgets,
 	}
 	if *progress {
 		c.opts.Progress = (&progressMeter{}).tick
@@ -370,6 +382,12 @@ func (c *cli) dispatch(fs *flag.FlagSet, experiment string) error {
 		return c.vulnerability()
 	case "analyze":
 		return c.analyze()
+	case "protect":
+		return c.protectPolicies()
+	case "protect-compare":
+		return c.protectCompare()
+	case "budget-sweep":
+		return c.budgetSweep()
 	case "demo":
 		return c.demo()
 	case "all":
@@ -754,6 +772,9 @@ func (c *cli) all() error {
 		c.summary,
 		c.compare,
 		c.analyze,
+		c.protectPolicies,
+		c.protectCompare,
+		c.budgetSweep,
 	}
 	for i, step := range steps {
 		if i > 0 {

@@ -21,6 +21,7 @@ func TestRunExperimentsSmoke(t *testing.T) {
 	experiments := []string{
 		"fig2", "fig4", "fig5", "fig6", "fig8", "summary", "compare",
 		"ablate-ckpt", "vulnerability", "analyze",
+		"protect", "protect-compare", "budget-sweep",
 	}
 	for _, exp := range experiments {
 		exp := exp
@@ -222,5 +223,9 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-badflag", "fig2"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-budgets", "12,x", "-bench", "gzip", "budget-sweep"}); err == nil ||
+		!strings.Contains(err.Error(), "budgets") {
+		t.Errorf("malformed -budgets: %v", err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
+	"repro/internal/protect"
 	"repro/internal/restore"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -182,6 +183,9 @@ type UArchExperiment struct {
 type CampaignConfig struct {
 	LatchesOnly bool
 	Harden      harden.Scheme
+	// Policy, if non-nil, overrides Harden with an explicit protection
+	// policy (internal/protect); see inject.UArchConfig.Policy.
+	Policy *protect.Policy
 }
 
 // Campaign runs the microarchitectural injection campaign of Section 4.2.
@@ -189,7 +193,7 @@ func Campaign(opts Options, cc CampaignConfig) (*UArchExperiment, error) {
 	opts.applyDefaults()
 	exp := &UArchExperiment{
 		LatchesOnly: cc.LatchesOnly,
-		Hardened:    cc.Harden != harden.None,
+		Hardened:    cc.Harden != harden.None || cc.Policy != nil,
 		PerBench:    make(map[workload.Benchmark]*inject.UArchResult, len(opts.Benchmarks)),
 	}
 	for _, bench := range opts.Benchmarks {
@@ -202,6 +206,7 @@ func Campaign(opts Options, cc CampaignConfig) (*UArchExperiment, error) {
 			WindowCycles:   10_000,
 			LatchesOnly:    cc.LatchesOnly,
 			Harden:         cc.Harden,
+			Policy:         cc.Policy,
 			Pipeline:       opts.Pipeline,
 			Workers:        opts.Workers,
 			Progress:       opts.Progress,

@@ -1,7 +1,7 @@
-// Package harden models the "low-hanging fruit" protection of the paper's
-// Section 5.2.2 (from the authors' DSN-2004 work): parity on the control
-// word latches within the pipeline and ECC on the register file and other
-// key data stores (alias tables, fetch queue).
+// Package harden models parity/ECC protection of pipeline state, after the
+// paper's Section 5.2.2 (from the authors' DSN-2004 work): parity on the
+// control word latches within the pipeline and ECC on the register file and
+// other key data stores (alias tables, fetch queue).
 //
 // The protection map classifies every element of a pipeline's state space
 // into a protection domain. Fault-injection campaigns consult the map: a
@@ -10,9 +10,15 @@
 // by a pipeline flush — in both cases the fault cannot cause failure, which
 // is exactly how the paper's hardened-pipeline campaign (Figure 6) treats
 // them.
+//
+// The paper's hand-picked placement is one Assignments value
+// (LowHangingFruitAssignments); internal/protect generalises placements
+// into budgeted policies derived from static vulnerability analysis.
 package harden
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/pipeline"
@@ -39,8 +45,23 @@ func (p Protection) String() string {
 		return "parity"
 	case ECC:
 		return "ecc"
+	case Unprotected:
+		return "unprotected"
 	}
-	return "unprotected"
+	return fmt.Sprintf("Protection(%d)", uint8(p))
+}
+
+// ParseProtection inverts String.
+func ParseProtection(s string) (Protection, error) {
+	switch s {
+	case "parity":
+		return Parity, nil
+	case "ecc":
+		return ECC, nil
+	case "unprotected", "":
+		return Unprotected, nil
+	}
+	return Unprotected, fmt.Errorf("harden: unknown protection %q", s)
 }
 
 // Scheme selects a placement of protection over the state space.
@@ -52,21 +73,48 @@ const (
 	None Scheme = iota
 	// LowHangingFruit is the paper's Section 5.2.2 placement: ECC on the
 	// SRAM arrays whose data lives long enough to protect cheaply
-	// (register file, both alias tables, free list, fetch queue), parity
-	// on the in-pipeline control word latches (decoded instructions in
-	// the ROB and scheduler and the raw words in the fetch queue).
+	// (register file, both alias tables, free list), parity on the
+	// in-pipeline control word latches (decoded instructions in the ROB
+	// and scheduler and the raw words in the fetch queue).
 	LowHangingFruit
 )
 
-// eccPrefixes and parityPrefixes classify elements by registered name.
-var (
-	eccPrefixes = []string{
-		"prf.val", "prf.ready", "specRAT", "archRAT", "freelist",
+// Assignments maps registered state-element names (exact, as passed to
+// StateSpace.Register) to protection domains. Names must resolve against
+// the state space they are compiled for; a name that matches no registered
+// element is an error, never a silent skip.
+type Assignments map[string]Protection
+
+// LowHangingFruitAssignments returns the paper's hand-picked placement as
+// an explicit element-name assignment. The names are the exact registered
+// StateSpace element names.
+func LowHangingFruitAssignments() Assignments {
+	return Assignments{
+		// ECC on the long-lived SRAM stores.
+		"prf.val":   ECC,
+		"prf.ready": ECC,
+		"specRAT":   ECC,
+		"archRAT":   ECC,
+		"freelist":  ECC,
+		// Parity on the in-pipeline control word latches.
+		"rob.ctl":      Parity,
+		"fq.word":      Parity,
+		"fq.pc":        Parity,
+		"sched.flags":  Parity,
+		"sched.robIdx": Parity,
+		"sched.src1":   Parity,
+		"sched.src2":   Parity,
+		"sched.src3":   Parity,
 	}
-	parityPrefixes = []string{
-		"rob.ctl", "fq.word", "fq.pc", "sched.",
+}
+
+// SchemeAssignments returns the element assignment a legacy Scheme selects.
+func SchemeAssignments(s Scheme) Assignments {
+	if s == LowHangingFruit {
+		return LowHangingFruitAssignments()
 	}
-)
+	return nil
+}
 
 // Map assigns a protection domain to every element of one state space.
 type Map struct {
@@ -74,31 +122,46 @@ type Map struct {
 }
 
 // NewMap classifies the elements of the given state space under the scheme.
-func NewMap(space *pipeline.StateSpace, scheme Scheme) *Map {
-	elems := space.Elements()
-	m := &Map{prot: make([]Protection, len(elems))}
-	if scheme == None {
-		return m
-	}
-	for i := range elems {
-		name := elems[i].Name
-		switch {
-		case hasAnyPrefix(name, eccPrefixes):
-			m.prot[i] = ECC
-		case hasAnyPrefix(name, parityPrefixes):
-			m.prot[i] = Parity
-		}
-	}
-	return m
+// It fails if the scheme's assignment names an element the space does not
+// register (the scheme sets ship with the pipeline, so an error here means
+// an element was renamed without updating the placement).
+func NewMap(space *pipeline.StateSpace, scheme Scheme) (*Map, error) {
+	return NewMapExact(space, SchemeAssignments(scheme))
 }
 
-func hasAnyPrefix(name string, prefixes []string) bool {
-	for _, p := range prefixes {
-		if strings.HasPrefix(name, p) {
-			return true
-		}
+// NewMapExact builds a protection map from an explicit element-name
+// assignment. Matching is exact against the registered element names: every
+// element whose name equals an assignment key receives that domain, and an
+// assignment key that resolves to no registered element is an error — a
+// policy naming a stale or misspelled element must fail loudly, not
+// silently protect nothing.
+func NewMapExact(space *pipeline.StateSpace, assign Assignments) (*Map, error) {
+	elems := space.Elements()
+	m := &Map{prot: make([]Protection, len(elems))}
+	if len(assign) == 0 {
+		return m, nil
 	}
-	return false
+	resolved := make(map[string]bool, len(assign))
+	for i := range elems {
+		p, ok := assign[elems[i].Name]
+		if !ok {
+			continue
+		}
+		m.prot[i] = p
+		resolved[elems[i].Name] = true
+	}
+	if len(resolved) != len(assign) {
+		var missing []string
+		for name := range assign {
+			if !resolved[name] {
+				missing = append(missing, name)
+			}
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("harden: assignment names unregistered element(s): %s",
+			strings.Join(missing, ", "))
+	}
+	return m, nil
 }
 
 // Protection returns the domain of element index i.
@@ -148,16 +211,32 @@ func Survey(space *pipeline.StateSpace, m *Map) Stats {
 		switch m.Protection(i) {
 		case ECC:
 			s.ECCBits += bits
-			s.OverheadBits += secdedBits(bits)
+			s.OverheadBits += SECDEDBits(bits)
 		case Parity:
 			s.ParityBits += bits
 			s.OverheadBits++
+		case Unprotected:
 		}
 	}
 	return s
 }
 
-func secdedBits(dataBits uint64) uint64 {
+// ProtectionCost returns the check-bit overhead of protecting one word of
+// the given width: 1 for parity, SEC-DED width for ECC, 0 otherwise.
+func ProtectionCost(p Protection, dataBits uint64) uint64 {
+	switch p {
+	case Parity:
+		return 1
+	case ECC:
+		return SECDEDBits(dataBits)
+	case Unprotected:
+	}
+	return 0
+}
+
+// SECDEDBits returns the check-bit count of a single-error-correcting,
+// double-error-detecting Hamming code over dataBits data bits.
+func SECDEDBits(dataBits uint64) uint64 {
 	check := uint64(0)
 	for (uint64(1) << check) < dataBits+check+1 {
 		check++

@@ -1,6 +1,7 @@
 package harden
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/pipeline"
@@ -21,9 +22,18 @@ func space(t *testing.T) *pipeline.StateSpace {
 	return p.State()
 }
 
+func mustMap(t *testing.T, s *pipeline.StateSpace, scheme Scheme) *Map {
+	t.Helper()
+	m, err := NewMap(s, scheme)
+	if err != nil {
+		t.Fatalf("NewMap(%d): %v", scheme, err)
+	}
+	return m
+}
+
 func TestNoneSchemeProtectsNothing(t *testing.T) {
 	s := space(t)
-	m := NewMap(s, None)
+	m := mustMap(t, s, None)
 	for i := range s.Elements() {
 		if m.Protected(i) {
 			t.Fatalf("element %d protected under None", i)
@@ -37,7 +47,7 @@ func TestNoneSchemeProtectsNothing(t *testing.T) {
 
 func TestLowHangingFruitPlacement(t *testing.T) {
 	s := space(t)
-	m := NewMap(s, LowHangingFruit)
+	m := mustMap(t, s, LowHangingFruit)
 	elems := s.Elements()
 	sawECC, sawParity, sawBare := false, false, false
 	for i := range elems {
@@ -65,9 +75,56 @@ func TestLowHangingFruitPlacement(t *testing.T) {
 	}
 }
 
+// TestExactMatchingRejectsUnresolvedNames is the regression test for the
+// prefix-matching bug: an assignment naming a renamed (or misspelled)
+// element must fail loudly, never silently protect nothing. The old
+// prefix matcher would have accepted "prf" below as a prefix of prf.val.
+func TestExactMatchingRejectsUnresolvedNames(t *testing.T) {
+	s := space(t)
+	for _, name := range []string{
+		"prf",          // bare prefix of prf.val / prf.ready
+		"rob.ctrl",     // renamed: registered name is rob.ctl
+		"fq.word.high", // over-qualified
+		"no.such.elem",
+	} {
+		_, err := NewMapExact(s, Assignments{name: Parity, "fq.word": Parity})
+		if err == nil {
+			t.Fatalf("assignment with unresolved name %q built silently", name)
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error for %q does not name the offender: %v", name, err)
+		}
+	}
+	// Several unresolved names are all reported, sorted.
+	_, err := NewMapExact(s, Assignments{"zzz.b": ECC, "aaa.a": Parity})
+	if err == nil {
+		t.Fatal("two unresolved names built silently")
+	}
+	if !strings.Contains(err.Error(), "aaa.a, zzz.b") {
+		t.Errorf("unresolved names not sorted in error: %v", err)
+	}
+}
+
+func TestNewMapExactCoversEveryWordOfAName(t *testing.T) {
+	s := space(t)
+	m, err := NewMapExact(s, Assignments{"prf.val": ECC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range s.Elements() {
+		want := Unprotected
+		if e.Name == "prf.val" {
+			want = ECC
+		}
+		if m.Protection(i) != want {
+			t.Fatalf("element %d (%s): protection %v, want %v", i, e.Name, m.Protection(i), want)
+		}
+	}
+}
+
 func TestSurveyCoverageAndOverhead(t *testing.T) {
 	s := space(t)
-	m := NewMap(s, LowHangingFruit)
+	m := mustMap(t, s, LowHangingFruit)
 	st := Survey(s, m)
 	if st.TotalBits != s.TotalBits(false) {
 		t.Errorf("total bits %d vs %d", st.TotalBits, s.TotalBits(false))
@@ -87,7 +144,7 @@ func TestSurveyCoverageAndOverhead(t *testing.T) {
 
 func TestProtectionBounds(t *testing.T) {
 	s := space(t)
-	m := NewMap(s, LowHangingFruit)
+	m := mustMap(t, s, LowHangingFruit)
 	if m.Protection(-1) != Unprotected || m.Protection(1<<30) != Unprotected {
 		t.Error("out-of-range indices must be unprotected")
 	}
@@ -100,6 +157,15 @@ func TestProtectionStrings(t *testing.T) {
 	if Parity.String() == ECC.String() {
 		t.Error("indistinct protection names")
 	}
+	for _, p := range []Protection{Unprotected, Parity, ECC} {
+		got, err := ParseProtection(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtection(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProtection("triple-modular"); err == nil {
+		t.Error("unknown protection name parsed silently")
+	}
 }
 
 func TestSECDEDWidths(t *testing.T) {
@@ -110,8 +176,20 @@ func TestSECDEDWidths(t *testing.T) {
 		{8, 5}, {16, 6}, {32, 7}, {64, 8}, {7, 5},
 	}
 	for _, tt := range tests {
-		if got := secdedBits(tt.data); got != tt.want {
-			t.Errorf("secdedBits(%d) = %d, want %d", tt.data, got, tt.want)
+		if got := SECDEDBits(tt.data); got != tt.want {
+			t.Errorf("SECDEDBits(%d) = %d, want %d", tt.data, got, tt.want)
 		}
+	}
+}
+
+func TestProtectionCost(t *testing.T) {
+	if got := ProtectionCost(Parity, 64); got != 1 {
+		t.Errorf("parity cost %d, want 1", got)
+	}
+	if got := ProtectionCost(ECC, 64); got != 8 {
+		t.Errorf("ecc cost %d, want 8", got)
+	}
+	if got := ProtectionCost(Unprotected, 64); got != 0 {
+		t.Errorf("unprotected cost %d, want 0", got)
 	}
 }

@@ -70,6 +70,11 @@ type VMTrial struct {
 	Point uint64 // dynamic instruction index of the corrupted result
 	Bit   uint8  // flipped bit position within the 64-bit result
 
+	// Protected is set when a protection policy covered the register file:
+	// the flip was corrected (or flushed) at the injection site, so the
+	// trial is masked by construction.
+	Protected bool
+
 	// Masked is true when the fault never caused failure: architectural
 	// state reconverged with the golden execution.
 	Masked bool

@@ -56,16 +56,26 @@ func (c UArchConfig) planString() string {
 	if c.Pipeline != nil {
 		pcfg = *c.Pipeline
 	}
-	return fmt.Sprintf("uarch|bench=%s|seed=%d|scale=%g|points=%d|tpp=%d|warmup=%d|spread=%d|window=%d|latches=%t|burst=%d|harden=%d|pipe=%+v",
+	s := fmt.Sprintf("uarch|bench=%s|seed=%d|scale=%g|points=%d|tpp=%d|warmup=%d|spread=%d|window=%d|latches=%t|burst=%d|harden=%d|pipe=%+v",
 		c.Bench, c.Seed, c.Scale, c.Points, c.TrialsPerPoint,
 		c.WarmupCycles, c.SpreadCycles, c.WindowCycles,
 		c.LatchesOnly, c.BurstBits, c.Harden, pcfg)
+	// The policy suffix appears only when a policy is set, so campaign
+	// directories journalled before policies existed stay resumable.
+	if c.Policy != nil {
+		s += "|policy=" + c.Policy.Fingerprint()
+	}
+	return s
 }
 
 func (c VMConfig) planString() string {
-	return fmt.Sprintf("vm|bench=%s|seed=%d|scale=%g|trials=%d|points=%d|warmup=%d|spread=%d|window=%d|low32=%t",
+	s := fmt.Sprintf("vm|bench=%s|seed=%d|scale=%g|trials=%d|points=%d|warmup=%d|spread=%d|window=%d|low32=%t",
 		c.Bench, c.Seed, c.Scale, c.Trials, c.Points,
 		c.Warmup, c.Spread, c.Window, c.Low32)
+	if c.Policy != nil {
+		s += "|policy=" + c.Policy.Fingerprint()
+	}
+	return s
 }
 
 // CampaignID names the campaign directory for this configuration: the
@@ -86,8 +96,8 @@ func (c VMConfig) CampaignID() string {
 // derived from the pipeline geometry, carried in the manifest so a merge can
 // rebuild the full UArchResult without constructing a pipeline.
 type uarchAux struct {
-	TotalBits   uint64       `json:"total_bits"`
-	LatchBits   uint64       `json:"latch_bits"`
+	TotalBits   uint64          `json:"total_bits"`
+	LatchBits   uint64          `json:"latch_bits"`
 	HardenStats hardenStatsJSON `json:"harden_stats"`
 }
 

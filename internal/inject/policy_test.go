@@ -1,0 +1,174 @@
+package inject
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harden"
+	"repro/internal/protect"
+)
+
+// testPolicy is a small static-budget policy mixing a parity latch domain
+// with the ECC register-file domain. Assignments are listed in sorted
+// element order, matching what the constructors produce.
+func testPolicy() *protect.Policy {
+	return &protect.Policy{
+		Name: "test-policy", Kind: protect.KindStaticBudget, BudgetBits: 1300,
+		Assign: []protect.Assignment{
+			{Elem: "fetchPC", Prot: harden.Parity},
+			{Elem: "prf.val", Prot: harden.ECC},
+			{Elem: "rob.flags", Prot: harden.Parity},
+		},
+	}
+}
+
+// A campaign under a protection policy must stay deterministic across
+// worker counts and sharding, and must visit the exact trial plan of the
+// unprotected campaign at the same seed — the pick-before-consult property
+// every offline policy comparison in internal/experiments rests on.
+func TestUArchPolicyCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	pol := testPolicy()
+
+	base := resumeUArch("gzip")
+	baseline, err := RunUArch(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := resumeUArch("gzip")
+	cfg.Policy = pol
+	serial, err := RunUArch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = resumeUArch("gzip")
+	cfg.Policy = pol
+	cfg.Workers = 3
+	parallel, err := RunUArch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameUArchResults(t, "serial vs parallel", serial, parallel)
+
+	dirs := []string{filepath.Join(t.TempDir(), "s0"), filepath.Join(t.TempDir(), "s1")}
+	for i, d := range dirs {
+		scfg := resumeUArch("gzip")
+		scfg.Policy = pol
+		scfg.ResumeFrom = d
+		scfg.ShardIndex, scfg.ShardCount = i, 2
+		scfg.Workers = 2
+		if _, err := RunUArch(scfg); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	mcfg := resumeUArch("gzip")
+	mcfg.Policy = pol
+	merged, err := MergeUArch(mcfg, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameUArchResults(t, "shard+merge", serial, merged)
+
+	// Pick identity with the unprotected baseline: same points, same
+	// elements, same bits, slot for slot. Protection changes outcomes,
+	// never picks.
+	if len(serial.Trials) != len(baseline.Trials) {
+		t.Fatalf("policy campaign visited %d trials, baseline %d", len(serial.Trials), len(baseline.Trials))
+	}
+	covered := 0
+	for i := range baseline.Trials {
+		b, s := baseline.Trials[i], serial.Trials[i]
+		if b.PointCycle != s.PointCycle || b.Elem != s.Elem || b.Bit != s.Bit {
+			t.Fatalf("trial %d picks diverged under policy:\n  baseline %+v\n  policy   %+v", i, b, s)
+		}
+		wantProt := pol.ProtectionOf(s.Elem) != harden.Unprotected
+		if s.Protected != wantProt {
+			t.Errorf("trial %d (%s): Protected=%v, policy covers=%v", i, s.Elem, s.Protected, wantProt)
+		}
+		if s.Protected {
+			covered++
+			if s.Failing() {
+				t.Errorf("trial %d (%s): protected flip classified as failing", i, s.Elem)
+			}
+		}
+	}
+	if covered == 0 {
+		t.Error("no trial landed in a policy-covered element; pick-identity check is vacuous")
+	}
+}
+
+// The policy fingerprint is part of the campaign plan: resuming a journal
+// under a different policy must be refused, not silently blended.
+func TestUArchPolicyEntersPlan(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	cfg := resumeUArch("gzip")
+	cfg.Policy = testPolicy()
+	cfg.ResumeFrom = dir
+	if _, err := RunUArch(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	other := resumeUArch("gzip")
+	other.Policy = nil
+	other.ResumeFrom = dir
+	if _, err := RunUArch(other); err == nil {
+		t.Fatal("resuming a policy campaign without its policy succeeded")
+	}
+}
+
+// The VM campaign's software-level fault model injects register-file
+// values, so a policy covering prf.val absorbs every trial; one not
+// covering it changes nothing.
+func TestVMPolicyAbsorbsRegisterFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	baseline, err := RunVM(resumeVM("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := resumeVM("gzip")
+	cfg.Policy = testPolicy()
+	covered, err := RunVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(covered.Trials) != len(baseline.Trials) {
+		t.Fatalf("%d trials vs baseline %d", len(covered.Trials), len(baseline.Trials))
+	}
+	for i, tr := range covered.Trials {
+		if !tr.Protected || !tr.Masked {
+			t.Fatalf("trial %d under prf.val ECC: %+v, want Protected+Masked", i, tr)
+		}
+		if b := baseline.Trials[i]; tr.Point != b.Point || tr.Bit != b.Bit {
+			t.Fatalf("trial %d picks diverged: %+v vs %+v", i, tr, b)
+		}
+	}
+
+	// Same campaign under parallel workers agrees bit for bit.
+	cfg = resumeVM("gzip")
+	cfg.Policy = testPolicy()
+	cfg.Workers = 3
+	par, err := RunVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVMResults(t, "serial vs parallel", covered, par)
+
+	// A policy that leaves the register file unprotected reproduces the
+	// baseline exactly.
+	latchOnly := &protect.Policy{Name: "latch-only", Kind: protect.KindStaticBudget,
+		Assign: []protect.Assignment{{Elem: "fetchPC", Prot: harden.Parity}}}
+	cfg = resumeVM("gzip")
+	cfg.Policy = latchOnly
+	same, err := RunVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVMResults(t, "latch-only vs baseline", baseline, same)
+}

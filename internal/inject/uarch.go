@@ -12,8 +12,18 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/protect"
 	"repro/internal/workload"
 )
+
+// consultProtection is the single sanctioned point where campaign code reads
+// a protection map (the restorelint protectpolicy analyzer enforces this).
+// Centralising the read keeps the fault-model semantics in one place: a flip
+// landing in a parity domain is detected on read and recovered by flush, one
+// landing in an ECC domain is corrected — either way it cannot fail.
+func consultProtection(m *harden.Map, elem int) harden.Protection {
+	return m.Protection(elem)
+}
 
 // UArchConfig parameterises a microarchitectural fault-injection campaign
 // (Section 4.2): single bit flips into the pipeline's latches and SRAM
@@ -52,6 +62,14 @@ type UArchConfig struct {
 	// Harden applies a protection scheme; flips landing in protected
 	// elements are corrected/flushed and cannot fail (Figure 6).
 	Harden harden.Scheme
+
+	// Policy, if non-nil, overrides Harden with an explicit protection
+	// policy (internal/protect) — e.g. one derived by the budgeted
+	// optimizer from static vulnerability analysis. Protection is consulted
+	// only after each pre-drawn bit pick, so campaigns at the same seed
+	// visit identical picks under every policy; its fingerprint enters the
+	// durable-campaign plan string.
+	Policy *protect.Policy
 
 	// Pipeline optionally overrides the processor configuration.
 	Pipeline *pipeline.Config
@@ -222,7 +240,14 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
 
 	space := master.State()
-	protMap := harden.NewMap(space, cfg.Harden)
+	assign := harden.SchemeAssignments(cfg.Harden)
+	if cfg.Policy != nil {
+		assign = cfg.Policy.Assignments()
+	}
+	protMap, err := harden.NewMapExact(space, assign)
+	if err != nil {
+		return nil, err
+	}
 	result := &UArchResult{
 		Config:      cfg,
 		TotalBits:   space.TotalBits(false),
@@ -388,7 +413,7 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 				DivergeLat:  Never,
 			}
 
-			if protMap.Protected(pick.ref.Elem) {
+			if consultProtection(protMap, pick.ref.Elem) != harden.Unprotected {
 				// Parity detects the flip on read (recovered by
 				// flush); ECC corrects it. Either way it cannot
 				// cause failure.

@@ -9,9 +9,11 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/campaignio"
+	"repro/internal/harden"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/protect"
 	"repro/internal/workload"
 )
 
@@ -43,6 +45,15 @@ type VMConfig struct {
 	// Low32 restricts flips to result bits 0..31, reproducing the
 	// Section 3.1 sensitivity study of virtual-address-space size.
 	Low32 bool
+
+	// Policy, if non-nil, applies a protection policy (internal/protect)
+	// at this campaign's architectural fault model: the flipped result bit
+	// lives in the physical register file, so a policy covering "prf.val"
+	// absorbs every trial (ECC corrects the flip before any consumer reads
+	// it; parity detects it and a flush refetches). Bit picks stay
+	// pre-drawn, so trial plans are identical under every policy; the
+	// policy fingerprint enters the durable-campaign plan string.
+	Policy *protect.Policy
 
 	// Workers is the number of goroutines trials fan out across; 0 (or 1)
 	// runs the campaign serially on the calling goroutine. Results are
@@ -215,6 +226,11 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	}
 
 	result := &VMResult{Config: cfg}
+	// This campaign's fault model corrupts one register-file value, so a
+	// policy covering the PRF absorbs every trial at the injection site.
+	// Evaluated once, against the policy itself — campaign code never reads
+	// a compiled protection map directly (see consultProtection).
+	prfProtected := cfg.Policy.ProtectionOf("prf.val") != harden.Unprotected
 	wall := cfg.Obs.Timer("campaign_vm_wall").Start()
 	eng := newEngine(cfg.Workers, cfg.Obs, "campaign_vm")
 	parallel := cfg.Workers > 1
@@ -385,6 +401,12 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 					break
 				}
 				bit := bits[slot]
+				if prfProtected {
+					trials[slot] = protectedVMTrial(injEv.PC, bit)
+					jr.record(slot, &trials[slot])
+					eng.done(cfg.Progress, totalTrials)
+					continue
+				}
 				var fm *mem.Memory
 				if v := memPool.Get(); v != nil {
 					poolHits.Inc()
@@ -423,6 +445,12 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 					break
 				}
 				bit := bits[slot]
+				if prfProtected {
+					trials[slot] = protectedVMTrial(injEv.PC, bit)
+					jr.record(slot, &trials[slot])
+					eng.done(cfg.Progress, totalTrials)
+					continue
+				}
 
 				// Rewind to the injection point and corrupt the result.
 				m.RestoreTo(preMark)
@@ -466,6 +494,22 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 		return nil, err
 	}
 	return result, nil
+}
+
+// protectedVMTrial is the outcome of a trial absorbed by protection at the
+// injection site: no fault enters the machine, so the trial is masked by
+// construction, and Protected records why.
+func protectedVMTrial(point uint64, bit uint8) VMTrial {
+	return VMTrial{
+		Point:      point,
+		Bit:        bit,
+		Protected:  true,
+		Masked:     true,
+		ExcLat:     Never,
+		CFVLat:     Never,
+		MemAddrLat: Never,
+		MemDataLat: Never,
+	}
 }
 
 // runVMTrial executes the faulty continuation against the recorded golden

@@ -1,0 +1,44 @@
+package pipeline
+
+import "math/bits"
+
+// OccupancySample is a point-in-time fill reading of the major pipeline
+// structures. It exposes, read-only, the same fills the telemetry histograms
+// sample (metrics.go), plus the physical-register liveness the free list
+// implies. The static protection ranking (internal/protect) averages samples
+// from a fault-free run into a residency profile: a structure that sits
+// mostly empty contributes few vulnerable bit-cycles no matter how ACE its
+// occupied words are.
+type OccupancySample struct {
+	FetchQ   uint64 // occupied fetch-queue entries (of FQSize)
+	ROB      uint64 // occupied reorder-buffer entries (of ROBSize)
+	Sched    uint64 // valid scheduler slots (of SchedSize)
+	STQ      uint64 // occupied store-queue entries (of STQSize)
+	LDQ      uint64 // occupied load-queue entries (of LDQSize)
+	Exec     uint64 // busy execution-window slots (of execSlots)
+	ExecCap  uint64 // execution-window capacity
+	LiveRegs uint64 // allocated physical registers (of PhysRegs)
+}
+
+// Occupancy reads the current structure fills. Pure observation: it mutates
+// nothing and has no effect on simulation results.
+func (p *Pipeline) Occupancy() OccupancySample {
+	s := OccupancySample{
+		FetchQ:   p.fq.count,
+		ROB:      p.rob.count,
+		Sched:    uint64(p.schedOccupancy()),
+		STQ:      p.stq.count,
+		LDQ:      p.ldq.count,
+		ExecCap:  execSlots,
+		LiveRegs: PhysRegs,
+	}
+	for i := range p.exec.busy {
+		if p.exec.busy[i] {
+			s.Exec++
+		}
+	}
+	for _, w := range p.free.bits {
+		s.LiveRegs -= uint64(bits.OnesCount64(w))
+	}
+	return s
+}

@@ -1,0 +1,262 @@
+// Package protect unifies the repository's two halves of selective
+// hardening behind one abstraction: a protection Policy names the state
+// elements to cover and the domain (parity or ECC) each receives, whether
+// the placement was hand-picked (the paper's Section 5.2.2 "low-hanging
+// fruit") or derived by the budgeted optimizer in rank.go from the static
+// bit-level vulnerability analysis (internal/staticvuln) — the BEC-style
+// loop: statically rank bits by proven vulnerability, spend the check-bit
+// budget only where it pays.
+//
+// A Policy compiles onto a pipeline's StateSpace as a harden.Map, which the
+// dynamic injection campaigns consult; it serializes to deterministic JSON
+// for the `restore-sim protect` subcommand; and it fingerprints into the
+// durable-campaign plan string, so policy-on campaigns keep the engines'
+// byte-identical serial/parallel/sharded guarantee.
+package protect
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/harden"
+	"repro/internal/pipeline"
+)
+
+// Kind records how a policy's placement was chosen.
+type Kind uint8
+
+// Policy kinds.
+const (
+	// KindNone is the empty policy: the unprotected baseline.
+	KindNone Kind = iota
+	// KindHandPicked is a fixed, human-chosen placement (the paper's
+	// low-hanging-fruit set, or any explicit assignment).
+	KindHandPicked
+	// KindStaticBudget is a placement derived by the budgeted optimizer
+	// from a static vulnerability ranking.
+	KindStaticBudget
+)
+
+// String names the policy kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindHandPicked:
+		return "hand-picked"
+	case KindStaticBudget:
+		return "static-budget"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "none", "":
+		return KindNone, nil
+	case "hand-picked":
+		return KindHandPicked, nil
+	case "static-budget":
+		return KindStaticBudget, nil
+	}
+	return KindNone, fmt.Errorf("protect: unknown policy kind %q", s)
+}
+
+// Assignment covers one named state element with one protection domain.
+type Assignment struct {
+	Elem string
+	Prot harden.Protection
+}
+
+// Policy is a named protection placement over the pipeline's state space.
+type Policy struct {
+	Name string
+	Kind Kind
+	// BudgetBits is the check-bit budget the optimizer ran under; zero for
+	// hand-picked and empty policies.
+	BudgetBits uint64
+	// Assign lists the protected elements, sorted by element name.
+	Assign []Assignment
+	// Predicted is the statically predicted coverage: the protected share
+	// of the ranking's failure mass. Zero when no ranking produced the
+	// policy.
+	Predicted float64
+}
+
+// None returns the empty policy (the unprotected baseline).
+func None() *Policy {
+	return &Policy{Name: "none", Kind: KindNone}
+}
+
+// LowHangingFruit returns the paper's hand-picked placement as a policy.
+func LowHangingFruit() *Policy {
+	return fromAssignments("low-hanging-fruit", harden.LowHangingFruitAssignments())
+}
+
+// FromScheme lifts a legacy harden.Scheme into a policy.
+func FromScheme(s harden.Scheme) *Policy {
+	if s == harden.None {
+		return None()
+	}
+	return LowHangingFruit()
+}
+
+func fromAssignments(name string, a harden.Assignments) *Policy {
+	p := &Policy{Name: name, Kind: KindHandPicked}
+	for elem, prot := range a {
+		p.Assign = append(p.Assign, Assignment{Elem: elem, Prot: prot})
+	}
+	p.normalize()
+	return p
+}
+
+// normalize sorts the assignment list by element name; every constructor
+// and decoder calls it so serialization and fingerprints are deterministic.
+func (p *Policy) normalize() {
+	sort.Slice(p.Assign, func(i, j int) bool { return p.Assign[i].Elem < p.Assign[j].Elem })
+}
+
+// Assignments converts the policy to the exact-name assignment map
+// harden.NewMapExact compiles.
+func (p *Policy) Assignments() harden.Assignments {
+	if p == nil || len(p.Assign) == 0 {
+		return nil
+	}
+	out := make(harden.Assignments, len(p.Assign))
+	for _, a := range p.Assign {
+		out[a.Elem] = a.Prot
+	}
+	return out
+}
+
+// ProtectionOf returns the domain the policy assigns to a named element
+// (Unprotected when the policy does not cover it).
+func (p *Policy) ProtectionOf(elem string) harden.Protection {
+	if p == nil {
+		return harden.Unprotected
+	}
+	for _, a := range p.Assign {
+		if a.Elem == elem {
+			return a.Prot
+		}
+	}
+	return harden.Unprotected
+}
+
+// Compile builds the protection map of this policy over a state space. An
+// assignment naming an element the space does not register is an error
+// (exact matching, no silent skips — see harden.NewMapExact).
+func (p *Policy) Compile(space *pipeline.StateSpace) (*harden.Map, error) {
+	if p == nil {
+		return harden.NewMapExact(space, nil)
+	}
+	m, err := harden.NewMapExact(space, p.Assignments())
+	if err != nil {
+		return nil, fmt.Errorf("protect: policy %q: %w", p.Name, err)
+	}
+	return m, nil
+}
+
+// Survey compiles the policy and reports its coverage and check-bit
+// overhead over a state space.
+func (p *Policy) Survey(space *pipeline.StateSpace) (harden.Stats, error) {
+	m, err := p.Compile(space)
+	if err != nil {
+		return harden.Stats{}, err
+	}
+	return harden.Survey(space, m), nil
+}
+
+// Fingerprint is the policy's canonical plan string: every field that
+// changes which trials a policy-on campaign can absorb. It feeds the
+// durable-campaign manifest hash (inject.planString), so two configurations
+// share journals exactly when their policies protect the same elements.
+func (p *Policy) Fingerprint() string {
+	if p == nil {
+		return "none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%d:", p.Name, p.Kind, p.BudgetBits)
+	for i, a := range p.Assign {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", a.Elem, a.Prot)
+	}
+	return b.String()
+}
+
+// EqualBudget returns the check-bit overhead of the paper's hand-picked
+// placement over a state space — the budget at which static-derived and
+// hand-picked policies compare like-for-like.
+func EqualBudget(space *pipeline.StateSpace) (uint64, error) {
+	st, err := LowHangingFruit().Survey(space)
+	if err != nil {
+		return 0, err
+	}
+	return st.OverheadBits, nil
+}
+
+// policyJSON is the serialized form: stable field names, protection domains
+// and kinds as strings, assignments in sorted element order.
+type policyJSON struct {
+	Name       string       `json:"name"`
+	Kind       string       `json:"kind"`
+	BudgetBits uint64       `json:"budget_bits,omitempty"`
+	Predicted  float64      `json:"predicted_coverage,omitempty"`
+	Assign     []assignJSON `json:"assignments"`
+}
+
+type assignJSON struct {
+	Elem string `json:"elem"`
+	Prot string `json:"protection"`
+}
+
+// MarshalJSON serializes the policy deterministically: assignments are kept
+// sorted by element name, so equal policies are byte-identical.
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	out := policyJSON{
+		Name:       p.Name,
+		Kind:       p.Kind.String(),
+		BudgetBits: p.BudgetBits,
+		Predicted:  p.Predicted,
+		Assign:     make([]assignJSON, 0, len(p.Assign)),
+	}
+	for _, a := range p.Assign {
+		out.Assign = append(out.Assign, assignJSON{Elem: a.Elem, Prot: a.Prot.String()})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a serialized policy, re-normalizing the assignment
+// order and rejecting unknown kinds or protection domains.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var in policyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	kind, err := ParseKind(in.Kind)
+	if err != nil {
+		return err
+	}
+	assign := make([]Assignment, 0, len(in.Assign))
+	for _, a := range in.Assign {
+		prot, err := harden.ParseProtection(a.Prot)
+		if err != nil {
+			return err
+		}
+		assign = append(assign, Assignment{Elem: a.Elem, Prot: prot})
+	}
+	*p = Policy{
+		Name:       in.Name,
+		Kind:       kind,
+		BudgetBits: in.BudgetBits,
+		Predicted:  in.Predicted,
+		Assign:     assign,
+	}
+	p.normalize()
+	return nil
+}

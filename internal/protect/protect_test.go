@@ -1,0 +1,336 @@
+package protect
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/harden"
+	"repro/internal/pipeline"
+	"repro/internal/staticvuln"
+	"repro/internal/workload"
+)
+
+func testSpace(t *testing.T) *pipeline.StateSpace {
+	t.Helper()
+	prog := workload.MustGenerate("gzip", workload.Config{Seed: 3, Scale: 0.1})
+	mem, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(pipeline.DefaultConfig(), mem, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.State()
+}
+
+// syntheticReport has enough ACE mass for a nonzero potency.
+func syntheticReport() *staticvuln.Report {
+	return &staticvuln.Report{
+		Program: "synthetic",
+		Insts: []staticvuln.InstReport{
+			{HasDest: true, Dest: 5, Weight: 10, Exception: 0xFF, Latency: 4},
+			{HasDest: true, Dest: 6, Weight: 10, CFV: 0xFF00, Latency: 8},
+			{HasDest: true, Dest: 7, Weight: 10},
+		},
+	}
+}
+
+var testProfile = Profile{
+	FetchQ: 0.5, ROB: 0.5, Sched: 0.5, STQ: 0.2,
+	LDQ: 0.2, Exec: 0.1, LiveRegs: 0.5,
+}
+
+// The ranking model must cover the real state space exactly: every
+// registered element ranks (a miss is a loud error in Rank), and every
+// model entry names a registered element (a stale entry means the pipeline
+// dropped state the model still scores).
+func TestModelCoversStateSpace(t *testing.T) {
+	space := testSpace(t)
+	rk, err := Rank(space, syntheticReport(), testProfile)
+	if err != nil {
+		t.Fatalf("Rank over the real state space: %v", err)
+	}
+	registered := make(map[string]bool)
+	for _, e := range space.Elements() {
+		registered[e.Name] = true
+	}
+	ranked := make(map[string]bool)
+	for _, er := range rk.Elems {
+		ranked[er.Name] = true
+		if er.CostBits == 0 {
+			t.Errorf("element %s has zero protection cost", er.Name)
+		}
+		if er.Mass < 0 {
+			t.Errorf("element %s has negative mass", er.Name)
+		}
+	}
+	for name := range registered {
+		if !ranked[name] {
+			t.Errorf("registered element %s missing from ranking", name)
+		}
+	}
+	for name := range model {
+		if !registered[name] {
+			t.Errorf("model entry %s names no registered element — stale coefficient", name)
+		}
+	}
+	// The ranking is sorted by failure mass per check bit, descending.
+	for i := 1; i < len(rk.Elems); i++ {
+		vi := rk.Elems[i-1].Mass / float64(rk.Elems[i-1].CostBits)
+		vj := rk.Elems[i].Mass / float64(rk.Elems[i].CostBits)
+		if vi < vj {
+			t.Fatalf("ranking out of order at %d: %s (%.4g) before %s (%.4g)",
+				i, rk.Elems[i-1].Name, vi, rk.Elems[i].Name, vj)
+		}
+	}
+}
+
+func TestKindRuleFollowsHardware(t *testing.T) {
+	space := testSpace(t)
+	rk, err := Rank(space, syntheticReport(), testProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, er := range rk.Elems {
+		want := harden.Parity
+		if er.Kind == pipeline.KindSRAM {
+			want = harden.ECC
+		}
+		if er.Prot != want {
+			t.Errorf("%s (%v): assigned %v, want %v", er.Name, er.Kind, er.Prot, want)
+		}
+	}
+}
+
+func rankFor(t *testing.T) *Ranking {
+	t.Helper()
+	rk, err := Rank(testSpace(t), syntheticReport(), testProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rk
+}
+
+func TestOptimizeBudgets(t *testing.T) {
+	rk := rankFor(t)
+
+	if p := Optimize("zero", rk, 0); len(p.Assign) != 0 || p.Predicted != 0 {
+		t.Errorf("zero budget: got %d assignments, predicted %v", len(p.Assign), p.Predicted)
+	}
+
+	// The top-value element alone must be selected when the budget covers
+	// exactly its cost.
+	top := rk.Elems[0]
+	p := Optimize("top", rk, top.CostBits)
+	if got := p.ProtectionOf(top.Name); got != top.Prot {
+		t.Errorf("budget %d: top element %s got %v, want %v", top.CostBits, top.Name, got, top.Prot)
+	}
+	if spent := rk.CostOf(p); spent > top.CostBits {
+		t.Errorf("spent %d bits over budget %d", spent, top.CostBits)
+	}
+
+	// Budgets never overshoot, and a too-expensive element is skipped in
+	// favor of later, cheaper ones rather than truncating the scan.
+	for _, budget := range []uint64{64, 500, 1664, 10_000} {
+		p := Optimize("b", rk, budget)
+		if spent := rk.CostOf(p); spent > budget {
+			t.Errorf("budget %d: spent %d", budget, spent)
+		}
+	}
+
+	// An unbounded budget covers everything and predicts full coverage.
+	var total uint64
+	for _, er := range rk.Elems {
+		total += er.CostBits
+	}
+	p = Optimize("all", rk, total)
+	if len(p.Assign) != len(rk.Elems) {
+		t.Errorf("full budget: %d of %d elements selected", len(p.Assign), len(rk.Elems))
+	}
+	if p.Predicted < 0.999 || p.Predicted > 1.001 {
+		t.Errorf("full budget predicted %v, want 1", p.Predicted)
+	}
+}
+
+func TestOptimizeSkipsTooExpensive(t *testing.T) {
+	rk := &Ranking{
+		Program: "synthetic",
+		Elems: []ElemRank{
+			{Name: "big", Prot: harden.ECC, Words: 10, Bits: 640, CostBits: 100, Density: 1, Mass: 640},
+			{Name: "small", Prot: harden.Parity, Words: 4, Bits: 256, CostBits: 4, Density: 0.5, Mass: 128},
+		},
+		TotalMass: 768,
+	}
+	p := Optimize("skip", rk, 10)
+	if p.ProtectionOf("big") != harden.Unprotected {
+		t.Error("big element selected over budget")
+	}
+	if p.ProtectionOf("small") != harden.Parity {
+		t.Error("cheap element after a too-expensive one was not selected")
+	}
+	if want := 128.0 / 768.0; p.Predicted != want {
+		t.Errorf("predicted %v, want %v", p.Predicted, want)
+	}
+}
+
+func TestEqualBudgetMatchesLowHangingFruit(t *testing.T) {
+	space := testSpace(t)
+	budget, err := EqualBudget(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := LowHangingFruit().Survey(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget != st.OverheadBits {
+		t.Errorf("EqualBudget %d != LHF overhead %d", budget, st.OverheadBits)
+	}
+	if budget == 0 {
+		t.Error("equal budget is zero")
+	}
+}
+
+func TestPolicyJSONDeterministicRoundTrip(t *testing.T) {
+	p := Optimize("static-budget/gzip", rankFor(t), 1664)
+	p.BudgetBits = 1664
+
+	a, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated marshal differs")
+	}
+
+	var q Policy
+	if err := json.Unmarshal(a, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, &q) {
+		t.Fatalf("round trip changed the policy:\n%+v\n%+v", p, &q)
+	}
+
+	// Assignment order in the wire form must not matter: decode normalizes.
+	var r Policy
+	shuffled := `{"name":"x","kind":"static-budget","budget_bits":5,"assignments":[{"elem":"z","protection":"parity"},{"elem":"a","protection":"ecc"}]}`
+	if err := json.Unmarshal([]byte(shuffled), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Assign[0].Elem != "a" || r.Assign[1].Elem != "z" {
+		t.Errorf("decode did not normalize assignment order: %+v", r.Assign)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	p := &Policy{Name: "x", Kind: KindStaticBudget, BudgetBits: 64,
+		Assign: []Assignment{{Elem: "prf.val", Prot: harden.ECC}, {Elem: "fetchPC", Prot: harden.Parity}}}
+	p.normalize()
+	fp := p.Fingerprint()
+	if fp != p.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	for _, want := range []string{"x", "static-budget", "64", "fetchPC=parity", "prf.val=ecc"} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("fingerprint %q missing %q", fp, want)
+		}
+	}
+	q := &Policy{Name: "x", Kind: KindStaticBudget, BudgetBits: 64,
+		Assign: []Assignment{{Elem: "fetchPC", Prot: harden.Parity}}}
+	if q.Fingerprint() == fp {
+		t.Error("different assignments share a fingerprint")
+	}
+}
+
+func TestCompileRejectsUnknownElement(t *testing.T) {
+	space := testSpace(t)
+	p := &Policy{Name: "bogus", Kind: KindStaticBudget,
+		Assign: []Assignment{{Elem: "no.such.element", Prot: harden.Parity}}}
+	if _, err := p.Compile(space); err == nil {
+		t.Fatal("compiling a policy naming an unregistered element succeeded")
+	} else if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), "no.such.element") {
+		t.Errorf("error %q names neither the policy nor the element", err)
+	}
+}
+
+func TestProtectionOfNilPolicy(t *testing.T) {
+	var p *Policy
+	if got := p.ProtectionOf("prf.val"); got != harden.Unprotected {
+		t.Errorf("nil policy ProtectionOf = %v, want Unprotected", got)
+	}
+	if got := None().ProtectionOf("prf.val"); got != harden.Unprotected {
+		t.Errorf("empty policy ProtectionOf = %v, want Unprotected", got)
+	}
+}
+
+func TestLowHangingFruitMatchesHarden(t *testing.T) {
+	p := LowHangingFruit()
+	want := harden.LowHangingFruitAssignments()
+	got := p.Assignments()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LHF policy assignments %v != harden %v", got, want)
+	}
+	if p.Kind != KindHandPicked {
+		t.Errorf("LHF kind %v", p.Kind)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindNone, KindHandPicked, KindStaticBudget} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+// Derive is deterministic: same benchmark, same options, byte-identical
+// serialized policy.
+func TestDeriveDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("derive runs a fault-free profile window")
+	}
+	opt := DeriveOptions{Seed: 11, Scale: 0.25, ProfileWarmup: 2_000, ProfileWindow: 8_000}
+	p1, rk1, err := Derive("mcf", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, rk2, err := Derive("mcf", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("derived policies differ:\n%s\n%s", j1, j2)
+	}
+	if rk1.TotalMass != rk2.TotalMass {
+		t.Errorf("rankings differ: %v vs %v", rk1.TotalMass, rk2.TotalMass)
+	}
+	if p1.Kind != KindStaticBudget || len(p1.Assign) == 0 {
+		t.Errorf("derived policy malformed: %+v", p1)
+	}
+	if p1.Predicted <= 0 || p1.Predicted > 1 {
+		t.Errorf("predicted coverage %v out of (0,1]", p1.Predicted)
+	}
+}

@@ -1,6 +1,7 @@
 package staticvuln
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -226,6 +227,77 @@ func (rp *Report) Render(low32 bool) string {
 		fmt.Fprintf(&b, "    r%-3d AVF %5.1f%%  (writes %d)\n", ra.Reg, ra.AVF*100, ra.Weight)
 	}
 	return b.String()
+}
+
+// serializedReport fixes the canonical field order of Serialize. Everything
+// is a slice in deterministic order — no map touches the encoder.
+type serializedReport struct {
+	Program        string            `json:"program"`
+	MaskedFraction float64           `json:"masked_fraction"`
+	Symptoms       []symptomFraction `json:"symptom_fractions"`
+	MeanLatency    float64           `json:"mean_latency"`
+	PerRegisterAVF []serializedAVF   `json:"per_register_avf"`
+	Insts          []serializedInst  `json:"insts"`
+}
+
+type symptomFraction struct {
+	Symptom  string  `json:"symptom"`
+	Fraction float64 `json:"fraction"`
+}
+
+type serializedAVF struct {
+	Reg    uint8   `json:"reg"`
+	AVF    float64 `json:"avf"`
+	Weight uint64  `json:"weight"`
+}
+
+type serializedInst struct {
+	Index     int    `json:"index"`
+	PC        uint64 `json:"pc"`
+	Dest      uint8  `json:"dest"`
+	HasDest   bool   `json:"has_dest"`
+	Weight    uint64 `json:"weight"`
+	Exception uint64 `json:"exception_mask"`
+	CFV       uint64 `json:"cfv_mask"`
+	Mem       uint64 `json:"mem_mask"`
+	Register  uint64 `json:"register_mask"`
+	Latency   uint32 `json:"latency"`
+}
+
+// Serialize renders the report as canonical JSON: fixed field order,
+// instructions in index order, symptom fractions in classifier precedence
+// order. The output is byte-identical across repeated analyses of the same
+// program — downstream consumers (protection-policy derivation, report
+// diffing in CI) depend on that, and a regression test enforces it.
+func (rp *Report) Serialize(low32 bool) ([]byte, error) {
+	fr := rp.SymptomFractions(low32)
+	sr := serializedReport{
+		Program:        rp.Program,
+		MaskedFraction: rp.MaskedFraction(low32),
+		MeanLatency:    rp.MeanLatency(low32),
+	}
+	for _, s := range []Symptom{SymException, SymCFV, SymMem, SymRegister, SymMasked} {
+		sr.Symptoms = append(sr.Symptoms, symptomFraction{Symptom: s.String(), Fraction: fr[s]})
+	}
+	for _, ra := range rp.PerRegisterAVF(low32) {
+		sr.PerRegisterAVF = append(sr.PerRegisterAVF, serializedAVF{Reg: uint8(ra.Reg), AVF: ra.AVF, Weight: ra.Weight})
+	}
+	for i := range rp.Insts {
+		r := &rp.Insts[i]
+		sr.Insts = append(sr.Insts, serializedInst{
+			Index:     r.Index,
+			PC:        r.PC,
+			Dest:      uint8(r.Dest),
+			HasDest:   r.HasDest,
+			Weight:    r.Weight,
+			Exception: r.Exception,
+			CFV:       r.CFV,
+			Mem:       r.Mem,
+			Register:  r.Register,
+			Latency:   r.Latency,
+		})
+	}
+	return json.MarshalIndent(&sr, "", "  ")
 }
 
 func popcount(x uint64) int {

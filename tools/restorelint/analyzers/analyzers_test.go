@@ -20,6 +20,7 @@ func TestAnalyzers(t *testing.T) {
 		{StateMut, "statemut"},
 		{BitWidth, "bitwidth"},
 		{StateRegister, "stateregister"},
+		{ProtectPolicy, "protectpolicy"},
 	}
 	for _, tc := range cases {
 		for _, kind := range []string{"good", "bad"} {

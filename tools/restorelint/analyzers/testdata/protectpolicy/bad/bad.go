@@ -1,0 +1,38 @@
+// Package fixture exercises the protectpolicy diagnostics.
+package fixture
+
+import (
+	"repro/internal/harden"
+	"repro/internal/protect"
+)
+
+// Missing ECC: adding a protection domain must not fall through silently.
+func costOf(p harden.Protection) int {
+	switch p { // want "switch over harden.Protection misses ECC"
+	case harden.Unprotected:
+		return 0
+	case harden.Parity:
+		return 1
+	}
+	return 0
+}
+
+// Missing KindStaticBudget.
+func describe(k protect.Kind) string {
+	switch k { // want "switch over protect.Kind misses KindStaticBudget"
+	case protect.KindNone:
+		return "baseline"
+	case protect.KindHandPicked:
+		return "manual"
+	}
+	return ""
+}
+
+// Campaign-style code reading a protection map directly instead of going
+// through the sanctioned consult point.
+func runTrial(m *harden.Map, elem int) bool {
+	if m.Protected(elem) { // want "harden.Map.Protected read outside consultProtection"
+		return false
+	}
+	return m.Protection(elem) == harden.Unprotected // want "harden.Map.Protection read outside consultProtection"
+}

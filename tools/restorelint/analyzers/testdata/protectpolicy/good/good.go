@@ -1,0 +1,59 @@
+// Package fixture holds protection-policy usage the analyzer must accept.
+package fixture
+
+import (
+	"repro/internal/harden"
+	"repro/internal/protect"
+)
+
+// Exhaustive coverage of every protection domain.
+func overhead(p harden.Protection) int {
+	switch p {
+	case harden.Unprotected:
+		return 0
+	case harden.Parity:
+		return 1
+	case harden.ECC:
+		return 8
+	}
+	return 0
+}
+
+// An explicit default acknowledges partial coverage.
+func isDerived(k protect.Kind) bool {
+	switch k {
+	case protect.KindStaticBudget:
+		return true
+	default:
+		return false
+	}
+}
+
+// The sanctioned consult point may read the map.
+func consultProtection(m *harden.Map, elem int) harden.Protection {
+	return m.Protection(elem)
+}
+
+// Campaign code goes through the consult point...
+func runTrial(m *harden.Map, elem int) bool {
+	return consultProtection(m, elem) == harden.Unprotected
+}
+
+// ...or asks the policy itself, which is not a compiled map read.
+func absorbed(pol *protect.Policy, elem string) bool {
+	return pol.ProtectionOf(elem) != harden.Unprotected
+}
+
+// Switches over other types stay out of scope.
+func plain(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// The escape hatch still works for deliberate direct reads.
+func surveyed(m *harden.Map) bool {
+	return m.Protected(0) //restorelint:ignore protectpolicy — reporting helper, not campaign logic
+}

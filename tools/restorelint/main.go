@@ -7,6 +7,8 @@
 //	statemut       registered state is written only by its declared owners
 //	bitwidth       shifts, masks, and sign extensions respect field widths
 //	stateregister  every uint64 state-struct field reaches the StateSpace
+//	protectpolicy  protection-domain switches are exhaustive; protection
+//	               maps are consulted only through consultProtection
 //
 // Usage:
 //
@@ -44,6 +46,10 @@ var scopes = map[*lint.Analyzer][]string{
 	analyzers.StateMut:      {"internal/pipeline"},
 	analyzers.StateRegister: {"internal/pipeline"},
 	analyzers.BitWidth:      nil,
+	analyzers.ProtectPolicy: {
+		"internal/harden", "internal/protect", "internal/inject",
+		"internal/experiments", "internal/restore",
+	},
 }
 
 // order fixes the reporting order of analyzers within a package.
@@ -53,6 +59,7 @@ var order = []*lint.Analyzer{
 	analyzers.StateMut,
 	analyzers.BitWidth,
 	analyzers.StateRegister,
+	analyzers.ProtectPolicy,
 }
 
 func main() {
