@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench telemetry resume protect clean
+.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench bench-baseline bench-check telemetry resume protect clean
 
 all: build test lint
 
@@ -53,6 +53,18 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Benchmark baseline. bench-baseline regenerates the committed
+# BENCH_pipeline.json from a fresh run; bench-check is what CI's bench job
+# runs — the same sweep diffed against the committed baseline, failing on a
+# >25% ns/op regression or any allocs/op growth in a hot-path benchmark.
+BENCHTIME ?= 0.2s
+
+bench-baseline:
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . | $(GO) run ./tools/benchdiff -write BENCH_pipeline.json
+
+bench-check:
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . | $(GO) run ./tools/benchdiff -baseline BENCH_pipeline.json
 
 # Runs a small instrumented campaign plus a traced ReStore run and prints
 # the telemetry (internal/obs); the program itself re-proves the inertness

@@ -144,66 +144,76 @@ func BenchmarkFig8(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Campaign engine: serial vs parallel. The pairs below run the identical
-// campaign configuration with Workers 0 and 4; the speedup is the ratio of
-// their ns/op (wall clock — it tracks available CPUs, so expect ~1x on a
-// single-core machine and ~N/x on N cores). Results are bit-identical
-// either way, which TestUArchParallelMatchesSerial pins.
+// Campaign engine: serial vs parallel across the full seven-benchmark suite.
+// Each sub-benchmark runs the identical campaign configuration with Workers
+// 0 and 4; the speedup is the ratio of their ns/op (wall clock — it tracks
+// available CPUs, so expect ~1x on a single-core machine and ~N/x on N
+// cores). Results are bit-identical either way, which
+// TestUArchParallelMatchesSerial pins. Every sub-benchmark also reports
+// trials/s, the number the committed BENCH_pipeline.json baseline and the
+// CI bench gate track.
 
-func uarchEngineBench() inject.UArchConfig {
+func uarchEngineBench(bench workload.Benchmark) inject.UArchConfig {
 	return inject.UArchConfig{
-		Bench: workload.MCF, Seed: 7, Scale: 0.5,
+		Bench: bench, Seed: 7, Scale: 0.5,
 		Points: 5, TrialsPerPoint: 30,
 		WarmupCycles: 5_000, SpreadCycles: 10_000, WindowCycles: 5_000,
 	}
 }
 
-func vmEngineBench() inject.VMConfig {
+func vmEngineBench(bench workload.Benchmark) inject.VMConfig {
 	return inject.VMConfig{
-		Bench: workload.MCF, Seed: 7, Scale: 0.5,
+		Bench: bench, Seed: 7, Scale: 0.5,
 		Trials: 160, Points: 20, Window: 20_000, Spread: 40_000,
 	}
 }
 
-// BenchmarkUArchCampaignSerial is the single-goroutine baseline for the
-// microarchitectural campaign engine.
-func BenchmarkUArchCampaignSerial(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := inject.RunUArch(uarchEngineBench()); err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkUArchCampaign sweeps the microarchitectural campaign engine over
+// every benchmark, serial and with 4 workers.
+func BenchmarkUArchCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"parallel4", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, bench := range workload.Benchmarks() {
+				b.Run(string(bench), func(b *testing.B) {
+					cfg := uarchEngineBench(bench)
+					cfg.Workers = mode.workers
+					trials := cfg.Points * cfg.TrialsPerPoint
+					for i := 0; i < b.N; i++ {
+						if _, err := inject.RunUArch(cfg); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+				})
+			}
+		})
 	}
 }
 
-// BenchmarkUArchCampaignParallel4 fans the same campaign across 4 workers.
-func BenchmarkUArchCampaignParallel4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		cfg := uarchEngineBench()
-		cfg.Workers = 4
-		if _, err := inject.RunUArch(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkVMCampaignSerial is the single-goroutine baseline for the
-// software-level campaign engine.
-func BenchmarkVMCampaignSerial(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := inject.RunVM(vmEngineBench()); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkVMCampaignParallel4 fans the same campaign across 4 workers.
-func BenchmarkVMCampaignParallel4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		cfg := vmEngineBench()
-		cfg.Workers = 4
-		if _, err := inject.RunVM(cfg); err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkVMCampaign sweeps the software-level campaign engine over every
+// benchmark, serial and with 4 workers.
+func BenchmarkVMCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"parallel4", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, bench := range workload.Benchmarks() {
+				b.Run(string(bench), func(b *testing.B) {
+					cfg := vmEngineBench(bench)
+					cfg.Workers = mode.workers
+					for i := 0; i < b.N; i++ {
+						if _, err := inject.RunVM(cfg); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(cfg.Trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+				})
+			}
+		})
 	}
 }
 

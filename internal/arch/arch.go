@@ -139,6 +139,12 @@ func (s *Sim) Stopped() bool { return s.Halted || s.Excepted }
 // exception the event records the fault, architectural state is unchanged,
 // and the simulator stops (precise exception semantics: the program cannot
 // continue without a handler, per Section 3.2.1).
+//
+// Step is the VM-level campaign's trial inner loop, annotated hot: it must
+// stay allocation-free (hotpathalloc proves it; the campaign benchmarks
+// pin 0 allocs/op dynamically).
+//
+//restorelint:hotpath
 func (s *Sim) Step() Event {
 	ev := Event{PC: s.PC}
 	if s.Stopped() {
@@ -318,6 +324,7 @@ func (s *Sim) evalBranch(inst isa.Inst) (taken bool, target, link uint64, hasLin
 // MemExc converts a memory fault into its ISA exception.
 func memExc(err error) ExceptionKind {
 	var f *mem.Fault
+	//restorelint:allowalloc -- exception path: runs only when a trial already faulted, never in steady state
 	if errors.As(err, &f) && f.Kind == mem.FaultAlign {
 		return ExcAlignment
 	}

@@ -150,6 +150,7 @@ func (c *Cache) CopyFrom(src *Cache) {
 	c.accesses = src.accesses
 	c.misses = src.misses
 	if len(c.entries) != len(src.entries) {
+		//restorelint:allowalloc -- geometry mismatch only; the clone pool re-images identically-shaped caches
 		c.entries = make([]entry, len(src.entries))
 	}
 	copy(c.entries, src.entries)

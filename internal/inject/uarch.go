@@ -725,7 +725,7 @@ func runUArchTrial(f *pipeline.Pipeline, ref pipeline.BitRef, burst int, trace *
 	}
 
 	for c := uint64(1); c <= window; c++ {
-		f.Cycle()
+		f.Step()
 		switch f.Status() {
 		case pipeline.StatusExcepted:
 			kind, _, _ := f.Exception()

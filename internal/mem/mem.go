@@ -138,10 +138,12 @@ func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * PageSize }
 
 func (m *Memory) lookup(addr uint64, mode Perm, size uint64) (*page, error) {
 	if size > 1 && addr&(size-1) != 0 {
+		//restorelint:allowalloc -- fault path: allocating the error ends the access; never taken in steady state
 		return nil, &Fault{Kind: FaultAlign, Addr: addr, Write: mode == PermWrite}
 	}
 	p, ok := m.pages[addr>>PageBits]
 	if !ok || p.perm&mode != mode {
+		//restorelint:allowalloc -- fault path: allocating the error ends the access; never taken in steady state
 		return nil, &Fault{Kind: FaultAccess, Addr: addr, Write: mode == PermWrite}
 	}
 	return p, nil
@@ -179,6 +181,7 @@ func (m *Memory) WriteQ(addr, val uint64) error {
 		rec.addr = addr
 		rec.n = 8
 		copy(rec.old[:], p.data[off:off+8])
+		//restorelint:allowalloc -- journal grows to steady-state capacity during warm-up; Reset keeps the backing array
 		m.journal = append(m.journal, rec)
 	}
 	binary.LittleEndian.PutUint64(p.data[off:off+8], val)
@@ -197,6 +200,7 @@ func (m *Memory) WriteL(addr uint64, val uint32) error {
 		rec.addr = addr
 		rec.n = 4
 		copy(rec.old[:], p.data[off:off+4])
+		//restorelint:allowalloc -- journal grows to steady-state capacity during warm-up; Reset keeps the backing array
 		m.journal = append(m.journal, rec)
 	}
 	binary.LittleEndian.PutUint32(p.data[off:off+4], val)
@@ -334,6 +338,12 @@ func (m *Memory) Clone() *Memory {
 // copied: the journal is cleared and journalling disabled. Campaign clone
 // pools use this to reset a trial's dirtied image back to the master's
 // without reallocating every page.
+//
+// CopyFrom is the clone pool's memory re-image path, annotated hot: in
+// steady state m and src map identical page sets, so the loop below only
+// overwrites existing page structs.
+//
+//restorelint:hotpath
 func (m *Memory) CopyFrom(src *Memory) {
 	for vpn := range m.pages {
 		if _, ok := src.pages[vpn]; !ok {
@@ -343,6 +353,7 @@ func (m *Memory) CopyFrom(src *Memory) {
 	for vpn, sp := range src.pages {
 		p, ok := m.pages[vpn]
 		if !ok {
+			//restorelint:allowalloc -- page missing from the clone: first re-image only; steady-state pools carry identical page sets
 			p = &page{}
 			m.pages[vpn] = p
 		}

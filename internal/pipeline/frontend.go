@@ -168,42 +168,37 @@ func (p *Pipeline) dispatchOne(pc uint64, inst isa.Inst, pred uint64) bool {
 	return true
 }
 
+// srcTag returns the current speculative mapping of an architectural source
+// register. A named method (not a closure inside fillScheduler) keeps the
+// dispatch path statically allocation-free for hotpathalloc.
+func (p *Pipeline) srcTag(r isa.Reg) uint64 { return p.specRAT.get(uint64(r)) }
+
 // fillScheduler writes the scheduler entry with renamed source tags.
 func (p *Pipeline) fillScheduler(slot int, robIdx uint64, inst isa.Inst, robFlags, oldPhys uint64) {
 	f := uint64(schValid)
 	var s1, s2, s3 uint64
 
-	setSrc := func(pos int, r isa.Reg) {
-		tag := p.specRAT.get(uint64(r))
-		switch pos {
-		case 1:
-			s1, f = tag, f|schSrc1
-		case 2:
-			s2, f = tag, f|schSrc2
-		}
-	}
-
 	switch {
 	case inst.IsLoad():
 		f |= schIsLoad
-		setSrc(1, inst.Rb)
+		s1, f = p.srcTag(inst.Rb), f|schSrc1
 	case inst.IsStore():
 		f |= schIsStore
-		setSrc(1, inst.Rb) // base
-		setSrc(2, inst.Ra) // data
+		s1, f = p.srcTag(inst.Rb), f|schSrc1 // base
+		s2, f = p.srcTag(inst.Ra), f|schSrc2 // data
 	case inst.IsBranch():
 		f |= schIsBr
 		if inst.IsCondBranch() {
-			setSrc(1, inst.Ra)
+			s1, f = p.srcTag(inst.Ra), f|schSrc1
 		} else if inst.IsIndirect() {
-			setSrc(1, inst.Rb)
+			s1, f = p.srcTag(inst.Rb), f|schSrc1
 		}
 	case inst.Op == isa.OpLDA || inst.Op == isa.OpLDAH:
-		setSrc(1, inst.Rb)
+		s1, f = p.srcTag(inst.Rb), f|schSrc1
 	case inst.Op == isa.OpCMOVEQ || inst.Op == isa.OpCMOVNE:
-		setSrc(1, inst.Ra)
+		s1, f = p.srcTag(inst.Ra), f|schSrc1
 		if !inst.UseLit {
-			setSrc(2, inst.Rb)
+			s2, f = p.srcTag(inst.Rb), f|schSrc2
 		}
 		// The previous destination mapping is a genuine third source.
 		s3, f = oldPhys, f|schSrc3
@@ -215,9 +210,9 @@ func (p *Pipeline) fillScheduler(slot int, robIdx uint64, inst isa.Inst, robFlag
 		if isa.ClassOf(inst.Op) == isa.ClassMul {
 			f |= schIsMul
 		}
-		setSrc(1, inst.Ra)
+		s1, f = p.srcTag(inst.Ra), f|schSrc1
 		if !inst.UseLit {
-			setSrc(2, inst.Rb)
+			s2, f = p.srcTag(inst.Rb), f|schSrc2
 		}
 	}
 

@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"sort"
-
 	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -37,7 +35,11 @@ func (p *Pipeline) doWriteback() {
 // available ports (3 ALU — one of which multiplies — 1 branch, 2 AGEN).
 
 func (p *Pipeline) doIssue() {
-	p.issueScratch = p.issueScratch[:0]
+	// The candidate list lives in a fixed array sized by the scheduler and
+	// is insertion-sorted in place: sort.Slice's func value forced a heap
+	// allocation every cycle, which dominated campaign allocation profiles
+	// (hundreds of thousands of objects per campaign).
+	p.issueCount = 0
 	for i := range p.sched.flags {
 		f := p.sched.flags[i]
 		if f&schValid == 0 {
@@ -46,23 +48,30 @@ func (p *Pipeline) doIssue() {
 		if !p.srcsReady(i) {
 			continue
 		}
-		p.issueScratch = append(p.issueScratch, issueCand{
+		p.issueScratch[p.issueCount] = issueCand{
 			slot: i,
 			pos:  p.rob.pos(p.sched.robIdx[i]),
-		})
-	}
-	sort.Slice(p.issueScratch, func(a, b int) bool {
-		if p.issueScratch[a].pos != p.issueScratch[b].pos {
-			return p.issueScratch[a].pos < p.issueScratch[b].pos
 		}
-		// Equal positions only occur under corrupted state; break the
-		// tie by slot so simulation stays deterministic even then.
-		return p.issueScratch[a].slot < p.issueScratch[b].slot
-	})
+		p.issueCount++
+	}
+	// Insertion sort, oldest (lowest ROB position) first; ties broken by
+	// slot so simulation stays deterministic even under corrupted state,
+	// where equal positions can occur. At most SchedSize elements, mostly
+	// ordered already — cheaper than a general sort and allocation-free.
+	for i := 1; i < p.issueCount; i++ {
+		c := p.issueScratch[i]
+		j := i - 1
+		for j >= 0 && (p.issueScratch[j].pos > c.pos ||
+			(p.issueScratch[j].pos == c.pos && p.issueScratch[j].slot > c.slot)) {
+			p.issueScratch[j+1] = p.issueScratch[j]
+			j--
+		}
+		p.issueScratch[j+1] = c
+	}
 
 	alu, br, agen := ALUPorts, BranchPorts, AGENPorts
 	issued := 0
-	for _, cand := range p.issueScratch {
+	for _, cand := range p.issueScratch[:p.issueCount] {
 		if issued >= IssueWidth {
 			break
 		}
@@ -568,6 +577,14 @@ func (p *Pipeline) squashFrom(robIdx uint64) {
 	p.squashToCount(p.rob.pos(robIdx))
 }
 
+// markLive records a physical-register tag in a liveness bitmap. A named
+// function (not a closure inside squashToCount) keeps the squash path
+// statically allocation-free for hotpathalloc.
+func markLive(live *[PhysRegs / 64]uint64, tag uint64) {
+	tag %= PhysRegs
+	live[tag/64] |= 1 << (tag % 64)
+}
+
 func (p *Pipeline) squashToCount(newCount uint64) {
 	p.stats.Flushes++
 	if newCount > p.rob.count {
@@ -584,14 +601,10 @@ func (p *Pipeline) squashToCount(newCount uint64) {
 	// Rebuild the speculative RAT from the architectural RAT plus
 	// surviving mappings, count surviving stores, and gather liveness.
 	var live [PhysRegs / 64]uint64
-	markLive := func(tag uint64) {
-		tag %= PhysRegs
-		live[tag/64] |= 1 << (tag % 64)
-	}
 	for r := uint64(0); r < 32; r++ {
 		phys := p.archRAT.get(r)
 		p.specRAT.set(r, phys)
-		markLive(phys)
+		markLive(&live, phys)
 	}
 	stqCount, ldqCount := uint64(0), uint64(0)
 	for i := uint64(0); i < newCount && i < ROBSize; i++ {
@@ -602,8 +615,8 @@ func (p *Pipeline) squashToCount(newCount uint64) {
 		}
 		if f&robHasDest != 0 {
 			p.specRAT.set(p.rob.archDest[idx], p.rob.physDest[idx])
-			markLive(p.rob.physDest[idx])
-			markLive(p.rob.oldPhys[idx])
+			markLive(&live, p.rob.physDest[idx])
+			markLive(&live, p.rob.oldPhys[idx])
 		}
 		if f&robIsStore != 0 {
 			stqCount++

@@ -65,6 +65,7 @@ func (Never) Clone() ConfidenceEstimator { return Never{} }
 
 func copyCounters(dst *[]counter2, src []counter2) {
 	if len(*dst) != len(src) {
+		//restorelint:allowalloc -- geometry mismatch only; the clone pool re-images identically-shaped predictors
 		*dst = make([]counter2, len(src))
 	}
 	copy(*dst, src)
@@ -97,6 +98,7 @@ func (b *BTB) CopyFrom(src *BTB) {
 	b.ways = src.ways
 	b.sets = src.sets
 	if len(b.entries) != len(src.entries) {
+		//restorelint:allowalloc -- geometry mismatch only; the clone pool re-images identically-shaped predictors
 		b.entries = make([]btbEntry, len(src.entries))
 	}
 	copy(b.entries, src.entries)
@@ -107,6 +109,7 @@ func (r *RAS) CopyFrom(src *RAS) {
 	r.top = src.top
 	r.depth = src.depth
 	if len(r.stack) != len(src.stack) {
+		//restorelint:allowalloc -- geometry mismatch only; the clone pool re-images identically-shaped predictors
 		r.stack = make([]uint64, len(src.stack))
 	}
 	copy(r.stack, src.stack)
@@ -121,6 +124,7 @@ func (j *JRS) CopyFrom(src *JRS) {
 	j.threshold = src.threshold
 	j.hist = nil
 	if len(j.table) != len(src.table) {
+		//restorelint:allowalloc -- geometry mismatch only; the clone pool re-images identically-shaped predictors
 		j.table = make([]uint8, len(src.table))
 	}
 	copy(j.table, src.table)
@@ -130,6 +134,7 @@ func (j *JRS) CopyFrom(src *JRS) {
 func (m *MemDep) CopyFrom(src *MemDep) {
 	m.mask = src.mask
 	if len(m.table) != len(src.table) {
+		//restorelint:allowalloc -- geometry mismatch only; the clone pool re-images identically-shaped predictors
 		m.table = make([]uint8, len(src.table))
 	}
 	copy(m.table, src.table)

@@ -21,6 +21,9 @@ func TestAnalyzers(t *testing.T) {
 		{BitWidth, "bitwidth"},
 		{StateRegister, "stateregister"},
 		{ProtectPolicy, "protectpolicy"},
+		{HotPathAlloc, "hotpathalloc"},
+		{GoroutineShare, "goroutineshare"},
+		{DurableIO, "durableio"},
 	}
 	for _, tc := range cases {
 		for _, kind := range []string{"good", "bad"} {

@@ -1,0 +1,116 @@
+package analyzers
+
+import (
+	"go/types"
+
+	"repro/tools/restorelint/lint"
+)
+
+// GoroutineShare gates how the campaign engine's goroutines touch shared
+// state.
+//
+// The parallel engine's determinism contract rests on one idiom: every
+// result a worker produces lands in a pre-assigned slot of a shared slice
+// (`trials[slot] = trial`), indexed by a per-task value, so no two workers
+// ever write the same word and no ordering matters. Everything else a
+// spawned closure does to shared mutable state is a race in waiting — and a
+// race in a fault-injection campaign doesn't just crash, it silently breaks
+// the byte-identical-at-any-worker-count guarantee the resumable/sharded
+// machinery depends on.
+//
+// Using the dataflow engine's reaches-goroutine capture analysis, this
+// analyzer flags a closure spawned with `go` or handed to a worker pool
+// (submit/Submit/Go/Spawn) when it:
+//
+//   - captures a package-level variable that some function in the package
+//     mutates (even a read races with those writers), or
+//   - writes a captured variable declared outside its task's loop
+//     iteration — direct assignment, field assignment, append, map write,
+//     or a slice write at an index that is not itself a per-task value.
+//
+// Captures of synchronization-safe types (channels, sync.* / sync/atomic
+// types) are exempt, as are closures that visibly lock or use atomics.
+var GoroutineShare = &lint.Analyzer{
+	Name: "goroutineshare",
+	Doc:  "goroutines must not share unsynchronized mutable state outside the indexed-slot idiom",
+	Run:  runGoroutineShare,
+}
+
+func runGoroutineShare(pass *lint.Pass) {
+	df := lint.NewDataflow(pass.Pkg)
+	for _, fnSum := range df.PackageSummaries(pass.Pkg) {
+		for _, cl := range fnSum.Closures {
+			if cl.UsesSync {
+				continue
+			}
+			spawn := "go statement"
+			if cl.Handoff != "" {
+				spawn = "worker-pool handoff (" + cl.Handoff + ")"
+			}
+			for _, cap := range cl.Captures {
+				checkCapture(pass, df, spawn, cap)
+			}
+		}
+	}
+}
+
+func checkCapture(pass *lint.Pass, df *lint.Dataflow, spawn string, cap lint.Capture) {
+	if syncSafeType(cap.Obj.Type()) {
+		return
+	}
+	if cap.PkgLevel && df.MutatedPkgVar(cap.Obj) {
+		pass.Reportf(cap.FirstUse,
+			"goroutine (%s) captures package-level variable %q, which this package mutates, without synchronization",
+			spawn, cap.Obj.Name())
+		return
+	}
+	if cap.PerIteration {
+		// Each spawned task sees its own instance (declared inside the
+		// spawn loop): writes are task-local.
+		return
+	}
+	for _, w := range cap.Writes {
+		switch w.Kind {
+		case lint.WriteIndex:
+			if w.IndexPerTask {
+				continue // the sanctioned pre-assigned-slot idiom
+			}
+			pass.Reportf(w.Pos,
+				"goroutine (%s) writes shared slice %q at an index that is not a per-task value; use the pre-assigned indexed-slot idiom or a sync primitive",
+				spawn, cap.Obj.Name())
+		case lint.WriteMap:
+			pass.Reportf(w.Pos,
+				"goroutine (%s) writes shared map %q without synchronization; map writes race even on distinct keys",
+				spawn, cap.Obj.Name())
+		case lint.WriteAppend:
+			pass.Reportf(w.Pos,
+				"goroutine (%s) appends to shared slice %q; append moves the backing array and races with every other reader",
+				spawn, cap.Obj.Name())
+		default: // WriteAssign, WriteField
+			pass.Reportf(w.Pos,
+				"goroutine (%s) writes captured variable %q declared outside the task loop without synchronization",
+				spawn, cap.Obj.Name())
+		}
+	}
+}
+
+// syncSafeType reports whether a captured value of this type synchronizes by
+// construction: channels, and the sync / sync/atomic types (pointers
+// included — capturing a *sync.WaitGroup is the normal form).
+func syncSafeType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
+}

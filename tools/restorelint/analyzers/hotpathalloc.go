@@ -1,0 +1,91 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+
+	"repro/tools/restorelint/lint"
+)
+
+// HotPathAlloc proves the trial inner loops allocation-free.
+//
+// Trials/sec is the simulator's currency: a microarchitectural campaign runs
+// the pipeline for millions of cycles per trial, so a single allocation in
+// the per-cycle path multiplies into hundreds of thousands of heap objects
+// per campaign and puts the garbage collector between the paper's numbers
+// and the wall clock. Functions annotated //restorelint:hotpath must be
+// transitively allocation-free in steady state: every allocation fact the
+// dataflow engine computes — make/new, escaping or reference-kind composite
+// literals, append growth, closure creation, interface boxing,
+// string<->[]byte copies — reachable through the module-local call graph is
+// an error unless a //restorelint:allowalloc directive sanctions it with a
+// justification (warm-up growth that reaches a steady-state fixpoint, error
+// paths). A sanction without a justification is itself reported.
+//
+// Soundness caveats (see DESIGN.md): calls through func-typed values (the
+// pipeline's observation hooks) are not followed, and interface calls are
+// devirtualized against the loaded module-local implementations only.
+var HotPathAlloc = &lint.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions annotated //restorelint:hotpath must be transitively allocation-free",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *lint.Pass) {
+	// A sanction is a claim that needs a reviewable reason.
+	for _, d := range lint.AllowallocDirectives(pass.Pkg) {
+		if d.Justification == "" {
+			pass.Reportf(d.Pos,
+				"allowalloc directive without a justification; write //restorelint:allowalloc -- <why this allocation is acceptable>")
+		}
+	}
+
+	df := lint.NewDataflow(pass.Pkg)
+	hot := df.HotPaths(pass.Pkg)
+	if len(hot) == 0 {
+		return
+	}
+
+	// One site can be reachable from several hotpath roots (Step and Cycle
+	// both reach doIssue); report it once, with the first chain found.
+	reported := make(map[token.Pos]bool)
+	for _, root := range hot {
+		for _, f := range df.TransitiveAllocs(root.Fn) {
+			local := df.Summary(f.In) != nil && df.Summary(f.In).Pkg == pass.Pkg
+			if local {
+				if reported[f.Site.Pos] {
+					continue
+				}
+				reported[f.Site.Pos] = true
+				pass.Reportf(f.Site.Pos, "allocation in hot path: %s (reached via %s)",
+					f.Site.Desc, lint.ChainString(f.Chain))
+				continue
+			}
+			// The allocation sits in another package: anchor the finding to
+			// the first cross-package call edge so the diagnostic lands in
+			// the package being linted.
+			key := crossPkgKey(root.Fn.Pos(), f.Site.Pos)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			pass.Reportf(root.Decl.Name.Pos(),
+				"hot path %s reaches an allocation outside this package: %s in %s (via %s)",
+				root.Fn.Name(), f.Site.Desc, fnName(f), lint.ChainString(f.Chain))
+		}
+	}
+}
+
+// crossPkgKey folds (root, site) into one dedup key. Positions live in a
+// shared FileSet, so XOR-free mixing by offsetting keeps keys distinct for
+// practical file sizes.
+func crossPkgKey(root, site token.Pos) token.Pos {
+	return root + site<<1
+}
+
+func fnName(f lint.AllocFinding) string {
+	if f.In.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", f.In.Pkg().Name(), f.In.Name())
+	}
+	return f.In.Name()
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises every durableio diagnostic: a write path that
+// renames without fsync (and never syncs the written file at all), a read
+// path that trusts records without a CRC check, and a rename whose source
+// cannot be traced to a synced file.
+package fixture
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+type Record struct {
+	Slot    int
+	Payload []byte
+}
+
+func publishUnsynced(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "m.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil { // want "written but never fsynced"
+		return err
+	}
+	tmp.Close()
+	return os.Rename(tmp.Name(), filepath.Join(dir, "manifest")) // want "without an earlier Sync"
+}
+
+func readNoCRC(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return out, nil
+		}
+		out = append(out, Record{Slot: int(hdr[0])}) // want "without a CRC check"
+	}
+}
+
+func renameUntraced(a, b string) error {
+	return os.Rename(a, b) // want "cannot be traced"
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises every goroutineshare diagnostic: a goroutine
+// capturing a package-level variable the package mutates, writes to
+// captured locals declared outside the task loop (direct, map, append, and
+// slice writes at a non-per-task index), and the same through a worker-pool
+// handoff.
+package fixture
+
+var counter int
+
+func bump() { counter++ }
+
+func spawnPkgLevel() {
+	go func() {
+		_ = counter // want "captures package-level variable"
+	}()
+	bump()
+}
+
+func spawnSharedWrite() int {
+	total := 0
+	for i := 0; i < 4; i++ {
+		go func() {
+			total++ // want "writes captured variable"
+		}()
+	}
+	return total
+}
+
+func spawnMapWrite(m map[int]int) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			m[i] = i // want "writes shared map"
+		}()
+	}
+}
+
+func spawnAppendShared() []int {
+	var all []int
+	for i := 0; i < 4; i++ {
+		go func() {
+			all = append(all, i) // want "appends to shared slice"
+		}()
+	}
+	return all
+}
+
+func spawnBadIndex(out []int) {
+	idx := 3
+	for i := 0; i < 4; i++ {
+		go func() {
+			out[idx] = i // want "not a per-task value"
+		}()
+	}
+}
+
+type pool struct{}
+
+func (pool) submit(f func()) {}
+
+func spawnHandoff(p pool) int {
+	n := 0
+	p.submit(func() {
+		n = 1 // want "writes captured variable"
+	})
+	return n
+}

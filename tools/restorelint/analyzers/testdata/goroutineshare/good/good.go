@@ -1,0 +1,89 @@
+// Package fixture holds the goroutine-sharing shapes the analyzer must
+// accept: the engine's pre-assigned indexed-slot idiom, channel and
+// sync-typed captures, closures that visibly lock, per-iteration captures,
+// read-only package state, and a justified //restorelint:ignore escape.
+package fixture
+
+import "sync"
+
+// slotIdiom is the campaign engine's determinism pattern: every goroutine
+// writes a disjoint pre-assigned slot indexed by a per-task value.
+func slotIdiom(n int) []int {
+	trials := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		slot := i
+		wg.Add(1)
+		go func() {
+			trials[slot] = slot * 2
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return trials
+}
+
+func channels(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() { ch <- i }()
+	}
+	sum := 0
+	for j := 0; j < n; j++ {
+		sum += <-ch
+	}
+	return sum
+}
+
+func locked(n int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func perIteration(n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		local := []int{}
+		go func() {
+			local = append(local, i) // per-iteration instance: task-local
+			done <- struct{}{}
+		}()
+	}
+}
+
+// readOnlyConfig is never assigned after initialization, so capturing it is
+// harmless.
+var readOnlyConfig = 42
+
+func readsConfig(done chan struct{}) {
+	go func() {
+		_ = readOnlyConfig
+		done <- struct{}{}
+	}()
+}
+
+// tuned is mutated by test helpers only; the single-goroutine harness never
+// runs the spawn concurrently with the tuning, which the directive records.
+var tuned int
+
+func setTuned(v int) { tuned = v }
+
+func spawnIgnored(done chan struct{}) {
+	go func() {
+		//restorelint:ignore goroutineshare -- harness is single-goroutine; tuning finishes before the spawn
+		_ = tuned
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,82 @@
+// Package fixture exercises every hotpathalloc diagnostic: each allocation
+// fact kind inside an annotated function, a transitive allocation reached
+// through a helper, one reached through a devirtualized interface call, an
+// assumed-allocating stdlib call, and a sanction missing its justification.
+package fixture
+
+import "fmt"
+
+//restorelint:hotpath
+func hotMake() []int {
+	return make([]int, 8) // want "allocation in hot path: make allocates"
+}
+
+//restorelint:hotpath
+func hotTransitive() int {
+	return helper()
+}
+
+func helper() int {
+	s := new(int) // want "allocation in hot path: new allocates"
+	return *s
+}
+
+//restorelint:hotpath
+func hotAppend(xs []int) []int {
+	return append(xs, 1) // want "append may grow"
+}
+
+//restorelint:hotpath
+func hotClosure() func() int {
+	x := 0
+	return func() int { x++; return x } // want "func literal allocates a closure"
+}
+
+func sink(v interface{}) {}
+
+//restorelint:hotpath
+func hotBox(n int) {
+	sink(n) // want "passing int as interface parameter boxes"
+}
+
+//restorelint:hotpath
+func hotConv(s string) []byte {
+	return []byte(s) // want "copies its contents"
+}
+
+//restorelint:hotpath
+func hotSliceLit() int {
+	xs := []int{1, 2, 3} // want "slice literal allocates its backing array"
+	return xs[0]
+}
+
+type node struct{ v int }
+
+//restorelint:hotpath
+func hotEscape() *node {
+	return &node{v: 1} // want "address-taken composite literal escapes"
+}
+
+//restorelint:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want "passing int as interface parameter boxes" "call to fmt.Sprintf is assumed to allocate"
+}
+
+type getter interface{ Get() []int }
+
+type impl struct{}
+
+func (impl) Get() []int {
+	return make([]int, 1) // want "allocation in hot path: make allocates"
+}
+
+//restorelint:hotpath
+func hotIface(g getter) []int {
+	return g.Get()
+}
+
+//restorelint:hotpath
+func hotSanctionNoReason() []int {
+	//restorelint:allowalloc // want "allowalloc directive without a justification"
+	return make([]int, 4)
+}

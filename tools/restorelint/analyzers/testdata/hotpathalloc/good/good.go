@@ -1,0 +1,86 @@
+// Package fixture holds hot-path shapes the analyzer must accept: pure
+// arithmetic, transitively clean helpers, value struct literals, map
+// iteration (an engine fact, not an error — steady-state re-imaging ranges
+// maps without allocating), calls through func-typed hook fields (exempt by
+// policy), devirtualized interface calls onto clean implementations, and a
+// sanctioned warm-up allocation with a justification.
+package fixture
+
+//restorelint:hotpath
+func hotClean(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+//restorelint:hotpath
+func hotCallsClean(xs []int) int {
+	return helperClean(xs)
+}
+
+func helperClean(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+type point struct{ x, y int }
+
+//restorelint:hotpath
+func hotValueLit(a, b int) int {
+	p := point{x: a, y: b} // value literal: stays on the stack
+	return p.x + p.y
+}
+
+//restorelint:hotpath
+func hotMapRange(m, dst map[int]int) {
+	for k, v := range m {
+		if dst[k] != v {
+			dst[k] = v
+		}
+	}
+}
+
+type hooks struct{ fire func(int) }
+
+//restorelint:hotpath
+func hotHook(h *hooks, n int) {
+	if h.fire != nil {
+		h.fire(n) // dynamic hook call: the installer vouches for it
+	}
+}
+
+type cleanGetter interface{ Val() int }
+
+type cleanImpl struct{ v int }
+
+func (c cleanImpl) Val() int { return c.v }
+
+//restorelint:hotpath
+func hotIfaceClean(g cleanGetter) int {
+	return g.Val()
+}
+
+//restorelint:hotpath
+func hotWarmup(n int) []int {
+	//restorelint:allowalloc -- warm-up growth only; the buffer is reused across trials once sized
+	buf := make([]int, n)
+	return buf
+}
+
+func allocatingHelper(n int) []int {
+	return make([]int, n) // legitimate for cold callers
+}
+
+// hotSanctionedEdge sanctions a call edge: the callee allocates for other
+// callers, but this path only runs it outside steady state.
+//
+//restorelint:hotpath
+func hotSanctionedEdge(n int) []int {
+	//restorelint:allowalloc -- cold path: runs once per campaign, never per cycle
+	return allocatingHelper(n)
+}

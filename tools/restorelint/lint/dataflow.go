@@ -1,0 +1,1276 @@
+// Intra-procedural dataflow with module-local call-graph summaries.
+//
+// The per-file AST walks that power the original analyzers cannot prove the
+// properties the campaign engine actually depends on — "the trial inner loop
+// does not allocate", "no goroutine shares unsynchronized mutable state" —
+// because those are properties of whole call trees and of where values flow,
+// not of single expressions. This file adds the missing layer: for every
+// function of a loaded package it computes
+//
+//   - allocation/escape facts: make/new, escaping composite literals,
+//     append growth, closure creation, interface boxing, string<->[]byte
+//     conversions, and map iteration;
+//   - use-def chains: the definition sites that may reach each use of a
+//     local or package-level variable;
+//   - a call summary: every static callee (module-local functions resolve
+//     to their own summaries; interface calls devirtualize against every
+//     implementation in the loaded package set; calls through func-typed
+//     values are recorded as dynamic);
+//   - a "reaches goroutine" capture analysis: the variables each go-closure
+//     or worker-pool handoff closure captures, whether they are
+//     per-iteration or shared, and how the closure writes them.
+//
+// Soundness stance (documented in DESIGN.md): the engine is conservative
+// about allocation — an unresolvable call is assumed to allocate unless it is
+// on the small stdlib allowlist — and optimistic about calls through
+// func-typed fields (hooks), which hot-path callers install knowingly.
+// Everything is stdlib-only and reuses the source-level loader, so summaries
+// share one FileSet and one type-identity universe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllocKind classifies one static allocation fact.
+type AllocKind string
+
+// Allocation fact kinds.
+const (
+	AllocMake         AllocKind = "make"
+	AllocNew          AllocKind = "new"
+	AllocCompositeLit AllocKind = "composite-literal" // escaping (&T{...}) or reference-kind ([]T{...}, map literals)
+	AllocAppend       AllocKind = "append-growth"     // append may grow its backing array
+	AllocClosure      AllocKind = "closure"           // func literal (captures force heap allocation)
+	AllocIfaceBox     AllocKind = "interface-boxing"  // concrete value converted into an interface
+	AllocStringConv   AllocKind = "string-conversion" // string <-> []byte/[]rune copies
+	AllocCallUnknown  AllocKind = "call-unresolved"   // callee outside the summary universe; assumed allocating
+	AllocCallStdlib   AllocKind = "call-stdlib"       // stdlib call off the allowlist; assumed allocating
+)
+
+// AllocSite is one potential allocation inside a single function.
+type AllocSite struct {
+	Pos        token.Pos
+	Kind       AllocKind
+	Desc       string
+	Sanctioned bool // covered by a //restorelint:allowalloc directive
+}
+
+// CallKind distinguishes how a call site resolves.
+type CallKind uint8
+
+// Call site kinds.
+const (
+	// CallStatic resolves to a known *types.Func (possibly in another
+	// loaded package).
+	CallStatic CallKind = iota + 1
+	// CallInterface is a method call through an interface value; the
+	// engine devirtualizes it against every loaded implementation.
+	CallInterface
+	// CallDynamic goes through a func-typed value (a hook field, a
+	// callback parameter); the target is unknowable module-locally.
+	CallDynamic
+)
+
+// CallSite is one call inside a function body.
+type CallSite struct {
+	Pos    token.Pos
+	Kind   CallKind
+	Callee *types.Func // static callee, or the interface method object
+	InGo   bool        // the call is the operand of a go statement
+	// Sanctioned marks a call edge covered by //restorelint:allowalloc:
+	// nothing reached through it is reported. This is how a caller
+	// sanctions an allocation it cannot annotate at the site (a
+	// legitimately-allocating callee in another package, reached only on a
+	// non-steady-state path).
+	Sanctioned bool
+}
+
+// CaptureWriteKind classifies how a goroutine closure writes a captured
+// variable.
+type CaptureWriteKind string
+
+// Capture write kinds. Index writes are listed separately because writing
+// disjoint pre-assigned slots of a shared slice is the campaign engine's
+// sanctioned idiom.
+const (
+	WriteAssign CaptureWriteKind = "assign"       // x = v, x += v
+	WriteField  CaptureWriteKind = "field-assign" // x.f = v
+	WriteIndex  CaptureWriteKind = "index-assign" // x[i] = v
+	WriteAppend CaptureWriteKind = "append"       // x = append(x, ...)
+	WriteMap    CaptureWriteKind = "map-assign"   // x[k] = v where x is a map
+)
+
+// CaptureWrite is one write to a captured variable inside a closure.
+type CaptureWrite struct {
+	Pos  token.Pos
+	Kind CaptureWriteKind
+	// IndexPerTask is set for WriteIndex when the index expression is
+	// itself a per-iteration value (the pre-assigned-slot idiom).
+	IndexPerTask bool
+}
+
+// Capture is one variable a spawned closure captures from its environment.
+type Capture struct {
+	Obj      *types.Var
+	FirstUse token.Pos
+	// PkgLevel marks package-level variables; DeclPos locates the
+	// declaration otherwise.
+	PkgLevel bool
+	// PerIteration is set when the variable is declared inside the
+	// innermost loop that also contains the spawn site: each spawned task
+	// then sees its own instance (Go 1.22 loop-variable semantics).
+	PerIteration bool
+	Writes       []CaptureWrite
+}
+
+// ClosureInfo describes one closure that escapes to another goroutine:
+// either the operand of a go statement or a handoff into a worker pool.
+type ClosureInfo struct {
+	Lit *ast.FuncLit
+	// SpawnPos is the go statement or the handoff call.
+	SpawnPos token.Pos
+	// Handoff names the pool method the closure was passed to ("submit"),
+	// empty for a plain go statement.
+	Handoff string
+	// UsesSync is set when the closure body itself takes a lock or uses
+	// sync/atomic, i.e. it visibly synchronizes its shared accesses.
+	UsesSync bool
+	Captures []Capture
+}
+
+// NamedCall is one method call on a tracked receiver variable, used by
+// analyzers that reason about operation ordering (e.g. Sync before Rename).
+type NamedCall struct {
+	Name string
+	Pos  token.Pos
+}
+
+// FuncSummary is the engine's per-function fact bundle.
+type FuncSummary struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	Allocs    []AllocSite
+	Calls     []CallSite
+	Closures  []ClosureInfo
+	MapRanges []token.Pos // positions of range statements over maps
+
+	// Defs and Uses index the function's dataflow by object: definition
+	// sites (parameters, :=, =, range and type-switch bindings) and use
+	// sites. Package-level variables appear too when the body touches them.
+	Defs map[*types.Var][]token.Pos
+	Uses map[*types.Var][]token.Pos
+
+	// RecvCalls records method calls keyed by receiver variable (locals
+	// and struct fields): x.Sync() lands under x's object.
+	RecvCalls map[*types.Var][]NamedCall
+
+	// Hotpath is set when the declaration carries //restorelint:hotpath.
+	Hotpath bool
+	// SanctionedFunc is set when the whole function carries
+	// //restorelint:allowalloc (every alloc site inside is sanctioned).
+	SanctionedFunc bool
+}
+
+// ReachingDefs returns the definition sites of v that may reach a use at
+// pos: every def positioned before the use, or any def when the use sits in
+// a loop body that also contains a def after it (back-edge). The chains are
+// flow-insensitive beyond position ordering — kills are not computed — which
+// over-approximates reachability; analyzers built on this must treat the
+// result as "may reach".
+func (s *FuncSummary) ReachingDefs(v *types.Var, pos token.Pos) []token.Pos {
+	var out []token.Pos
+	for _, d := range s.Defs[v] {
+		if d <= pos {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		// All defs are positionally later: only possible through a loop
+		// back-edge (or a bug in the using code); return them all.
+		out = append(out, s.Defs[v]...)
+	}
+	return out
+}
+
+// Dataflow owns the summaries for one loaded package universe.
+type Dataflow struct {
+	root *Package
+	pkgs []*Package
+
+	summaries map[*types.Func]*FuncSummary
+
+	// mutatedPkgVars records every package-level variable that some
+	// function in its own package assigns to (beyond initialization).
+	mutatedPkgVars map[*types.Var][]token.Pos
+
+	// implCache memoizes devirtualization: interface method -> candidate
+	// concrete methods across the loaded universe.
+	implCache map[*types.Func][]*types.Func
+
+	transitive map[*types.Func][]AllocFinding
+	inProgress map[*types.Func]bool
+}
+
+// AllocFinding is one allocation reachable from a root function, with the
+// call chain that reaches it.
+type AllocFinding struct {
+	Site  AllocSite
+	In    *types.Func   // function containing the site
+	Chain []*types.Func // root ... In (inclusive)
+}
+
+// NewDataflow builds summaries for the pass package and every module-local
+// package its loader has checked. Building is a single pass over each
+// function body; queries (TransitiveAllocs, devirtualization) memoize.
+func NewDataflow(root *Package) *Dataflow {
+	d := &Dataflow{
+		root:           root,
+		pkgs:           root.LoadedPackages(),
+		summaries:      make(map[*types.Func]*FuncSummary),
+		mutatedPkgVars: make(map[*types.Var][]token.Pos),
+		implCache:      make(map[*types.Func][]*types.Func),
+		transitive:     make(map[*types.Func][]AllocFinding),
+		inProgress:     make(map[*types.Func]bool),
+	}
+	for _, pkg := range d.pkgs {
+		d.summarizePackage(pkg)
+	}
+	return d
+}
+
+// Summary returns fn's summary, or nil when fn is outside the loaded
+// universe (stdlib, unexported in an unloaded package).
+func (d *Dataflow) Summary(fn *types.Func) *FuncSummary { return d.summaries[fn] }
+
+// HotPaths returns the summaries of pkg's //restorelint:hotpath functions in
+// declaration order.
+func (d *Dataflow) HotPaths(pkg *Package) []*FuncSummary {
+	var out []*FuncSummary
+	for _, s := range d.summaries {
+		if s.Hotpath && s.Pkg == pkg {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// PackageSummaries returns every summary belonging to pkg in declaration
+// order, for analyzers that sweep a whole package deterministically.
+func (d *Dataflow) PackageSummaries(pkg *Package) []*FuncSummary {
+	var out []*FuncSummary
+	for _, s := range d.summaries {
+		if s.Pkg == pkg {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// MutatedPkgVar reports whether some function in v's own package assigns to
+// the package-level variable v.
+func (d *Dataflow) MutatedPkgVar(v *types.Var) bool {
+	return len(d.mutatedPkgVars[v]) > 0
+}
+
+// ---------------------------------------------------------------------------
+// Summary construction
+
+// directiveIndex locates //restorelint:hotpath and //restorelint:allowalloc
+// comments by file and line.
+type directiveIndex struct {
+	hotpath    map[string]map[int]bool
+	allowalloc map[string]map[int]string // line -> justification ("" = none given)
+}
+
+func buildDirectiveIndex(pkg *Package) *directiveIndex {
+	idx := &directiveIndex{
+		hotpath:    make(map[string]map[int]bool),
+		allowalloc: make(map[string]map[int]string),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.Contains(c.Text, "restorelint:hotpath") {
+					if idx.hotpath[pos.Filename] == nil {
+						idx.hotpath[pos.Filename] = make(map[int]bool)
+					}
+					idx.hotpath[pos.Filename][pos.Line] = true
+				}
+				if i := strings.Index(c.Text, "restorelint:allowalloc"); i >= 0 {
+					rest := c.Text[i+len("restorelint:allowalloc"):]
+					just := ""
+					if j := strings.Index(rest, "--"); j >= 0 {
+						just = strings.TrimSpace(rest[j+2:])
+					} else if j := strings.Index(rest, "—"); j >= 0 {
+						just = strings.TrimSpace(rest[j+len("—"):])
+					}
+					if idx.allowalloc[pos.Filename] == nil {
+						idx.allowalloc[pos.Filename] = make(map[int]string)
+					}
+					idx.allowalloc[pos.Filename][pos.Line] = just
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// onDecl reports whether a directive in the index covers the declaration:
+// any line of its doc comment, the declaration line itself, or the line
+// directly above it.
+func (idx *directiveIndex) onDecl(byLine map[string]map[int]bool, pkg *Package, fd *ast.FuncDecl) bool {
+	lines := byLine[pkg.Fset.Position(fd.Pos()).Filename]
+	if lines == nil {
+		return false
+	}
+	declLine := pkg.Fset.Position(fd.Pos()).Line
+	if lines[declLine] || lines[declLine-1] {
+		return true
+	}
+	if fd.Doc != nil {
+		from := pkg.Fset.Position(fd.Doc.Pos()).Line
+		for l := from; l < declLine; l++ {
+			if lines[l] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowallocLines converts the justification map to a presence map for
+// onDecl reuse.
+func (idx *directiveIndex) allowallocPresence() map[string]map[int]bool {
+	out := make(map[string]map[int]bool, len(idx.allowalloc))
+	for file, lines := range idx.allowalloc {
+		m := make(map[int]bool, len(lines))
+		for l := range lines {
+			m[l] = true
+		}
+		out[file] = m
+	}
+	return out
+}
+
+// siteSanctioned reports whether an allowalloc directive sits on the site's
+// line or the line above.
+func (idx *directiveIndex) siteSanctioned(pkg *Package, pos token.Pos) bool {
+	p := pkg.Fset.Position(pos)
+	lines := idx.allowalloc[p.Filename]
+	if lines == nil {
+		return false
+	}
+	_, same := lines[p.Line]
+	_, above := lines[p.Line-1]
+	return same || above
+}
+
+// AllowallocDirective is one //restorelint:allowalloc comment in a package.
+type AllowallocDirective struct {
+	Pos           token.Pos
+	Justification string // text after "--"; empty when none was given
+}
+
+// AllowallocDirectives returns every allowalloc directive in pkg in source
+// order, for analyzers that audit them (a sanction without a justification
+// is itself a finding).
+func AllowallocDirectives(pkg *Package) []AllowallocDirective {
+	idx := buildDirectiveIndex(pkg)
+	var out []AllowallocDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "restorelint:allowalloc") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, AllowallocDirective{
+					Pos:           c.Pos(),
+					Justification: idx.allowalloc[pos.Filename][pos.Line],
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (d *Dataflow) summarizePackage(pkg *Package) {
+	dirs := buildDirectiveIndex(pkg)
+	allowPresence := dirs.allowallocPresence()
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &FuncSummary{
+				Fn:             obj,
+				Decl:           fd,
+				Pkg:            pkg,
+				Defs:           make(map[*types.Var][]token.Pos),
+				Uses:           make(map[*types.Var][]token.Pos),
+				RecvCalls:      make(map[*types.Var][]NamedCall),
+				Hotpath:        dirs.onDecl(dirs.hotpath, pkg, fd),
+				SanctionedFunc: dirs.onDecl(allowPresence, pkg, fd),
+			}
+			d.summaries[obj] = s
+			d.walkBody(s, dirs)
+			for i := range s.Calls {
+				s.Calls[i].Sanctioned = s.SanctionedFunc ||
+					dirs.siteSanctioned(pkg, s.Calls[i].Pos)
+			}
+		}
+	}
+}
+
+// walkBody fills one function's summary.
+func (d *Dataflow) walkBody(s *FuncSummary, dirs *directiveIndex) {
+	pkg := s.Pkg
+	info := pkg.Info
+	fd := s.Decl
+
+	// Parameters, results, and receiver are definitions at the signature.
+	sig := s.Fn.Type().(*types.Signature)
+	for _, tuple := range []*types.Tuple{sig.Params(), sig.Results()} {
+		for i := 0; i < tuple.Len(); i++ {
+			if v := tuple.At(i); v.Name() != "" {
+				s.Defs[v] = append(s.Defs[v], fd.Pos())
+			}
+		}
+	}
+	if recv := sig.Recv(); recv != nil && recv.Name() != "" {
+		s.Defs[recv] = append(s.Defs[recv], fd.Pos())
+	}
+
+	addAlloc := func(pos token.Pos, kind AllocKind, desc string) {
+		s.Allocs = append(s.Allocs, AllocSite{
+			Pos:        pos,
+			Kind:       kind,
+			Desc:       desc,
+			Sanctioned: s.SanctionedFunc || dirs.siteSanctioned(pkg, pos),
+		})
+	}
+
+	var goCallPos map[*ast.CallExpr]bool // calls that are go-statement operands
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if goCallPos == nil {
+				goCallPos = make(map[*ast.CallExpr]bool)
+			}
+			goCallPos[n.Call] = true
+			d.recordSpawn(s, n.Call, n.Pos(), "")
+
+		case *ast.CallExpr:
+			d.recordCall(s, n, goCallPos[n], addAlloc)
+			d.recordHandoff(s, n)
+
+		case *ast.FuncLit:
+			addAlloc(n.Pos(), AllocClosure, "func literal allocates a closure")
+
+		case *ast.CompositeLit:
+			d.recordCompositeLit(s, n, addAlloc)
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					addAlloc(cl.Pos(), AllocCompositeLit,
+						"address-taken composite literal escapes to the heap")
+				}
+			}
+
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					s.MapRanges = append(s.MapRanges, n.Pos())
+				}
+			}
+			d.recordRangeDefs(s, n)
+
+		case *ast.AssignStmt:
+			d.recordAssign(s, n, addAlloc)
+
+		case *ast.IncDecStmt:
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					s.Defs[v] = append(s.Defs[v], id.Pos())
+					if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && !v.IsField() {
+						d.mutatedPkgVars[v] = append(d.mutatedPkgVars[v], id.Pos())
+					}
+				}
+			}
+
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					s.Defs[v] = append(s.Defs[v], name.Pos())
+				}
+			}
+
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok {
+				s.Uses[v] = append(s.Uses[v], n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// recordCall classifies one call site, records interface boxing of
+// arguments, and detects builtin allocators.
+func (d *Dataflow) recordCall(s *FuncSummary, call *ast.CallExpr, inGo bool, addAlloc func(token.Pos, AllocKind, string)) {
+	info := s.Pkg.Info
+
+	// Builtins and conversions first.
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				addAlloc(call.Pos(), AllocMake, "make allocates")
+			case "new":
+				addAlloc(call.Pos(), AllocNew, "new allocates")
+			case "append":
+				target := "slice"
+				if id, ok := unparen(call.Args[0]).(*ast.Ident); ok {
+					target = id.Name
+				}
+				addAlloc(call.Pos(), AllocAppend,
+					fmt.Sprintf("append may grow %q's backing array", target))
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Type conversion: string <-> []byte/[]rune copies allocate.
+		if len(call.Args) == 1 {
+			from, okFrom := info.Types[call.Args[0]]
+			if okFrom && isStringBytesConv(tv.Type, from.Type) {
+				addAlloc(call.Pos(), AllocStringConv,
+					fmt.Sprintf("conversion %s -> %s copies its contents", from.Type, tv.Type))
+			}
+			// Conversion into an interface boxes.
+			if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && okFrom {
+				if boxes(from.Type) {
+					addAlloc(call.Pos(), AllocIfaceBox,
+						fmt.Sprintf("conversion of %s into interface %s boxes", from.Type, tv.Type))
+				}
+			}
+		}
+		return
+	}
+
+	// Interface boxing at argument positions of ordinary calls.
+	if sig, ok := calleeSignature(info, call); ok {
+		d.recordArgBoxing(s, call, sig, addAlloc)
+	}
+
+	// Resolve the callee.
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			s.Calls = append(s.Calls, CallSite{Pos: call.Pos(), Kind: CallStatic, Callee: fn, InGo: inGo})
+			return
+		}
+		// A func-typed variable.
+		if _, ok := info.Uses[fun].(*types.Var); ok {
+			s.Calls = append(s.Calls, CallSite{Pos: call.Pos(), Kind: CallDynamic, InGo: inGo})
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				fn := sel.Obj().(*types.Func)
+				kind := CallStatic
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					kind = CallInterface
+				}
+				s.Calls = append(s.Calls, CallSite{Pos: call.Pos(), Kind: kind, Callee: fn, InGo: inGo})
+				// x.M() on a tracked receiver variable.
+				if v := fieldOrLocalVar(info, fun.X); v != nil {
+					s.RecvCalls[v] = append(s.RecvCalls[v], NamedCall{Name: fun.Sel.Name, Pos: call.Pos()})
+				}
+				return
+			case types.FieldVal:
+				// Call through a func-typed field (a hook).
+				s.Calls = append(s.Calls, CallSite{Pos: call.Pos(), Kind: CallDynamic, InGo: inGo})
+				return
+			}
+		}
+		// Package-qualified call: pkg.F(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			s.Calls = append(s.Calls, CallSite{Pos: call.Pos(), Kind: CallStatic, Callee: fn, InGo: inGo})
+			return
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: the body is walked in place; the
+		// closure alloc is already recorded by the FuncLit case.
+		return
+	}
+	s.Calls = append(s.Calls, CallSite{Pos: call.Pos(), Kind: CallDynamic, InGo: inGo})
+}
+
+// recordArgBoxing flags concrete values passed into interface-typed
+// parameters (including variadic ...interface{}).
+func (d *Dataflow) recordArgBoxing(s *FuncSummary, call *ast.CallExpr, sig *types.Signature, addAlloc func(token.Pos, AllocKind, string)) {
+	info := s.Pkg.Info
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1)
+			if sl, ok := last.Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil || !boxes(at.Type) {
+			continue
+		}
+		addAlloc(arg.Pos(), AllocIfaceBox,
+			fmt.Sprintf("passing %s as interface parameter boxes", at.Type))
+	}
+}
+
+// recordCompositeLit flags reference-kind literals (slices and maps always
+// allocate backing storage). Value struct/array literals are not flagged
+// here: they only allocate when they escape, which the &lit and boxing
+// rules catch.
+func (d *Dataflow) recordCompositeLit(s *FuncSummary, cl *ast.CompositeLit, addAlloc func(token.Pos, AllocKind, string)) {
+	tv, ok := s.Pkg.Info.Types[cl]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		addAlloc(cl.Pos(), AllocCompositeLit, "slice literal allocates its backing array")
+	case *types.Map:
+		addAlloc(cl.Pos(), AllocCompositeLit, "map literal allocates")
+	}
+}
+
+// recordAssign records definition sites and interface boxing through
+// assignment into interface-typed destinations.
+func (d *Dataflow) recordAssign(s *FuncSummary, as *ast.AssignStmt, addAlloc func(token.Pos, AllocKind, string)) {
+	info := s.Pkg.Info
+	for i, lhs := range as.Lhs {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var v *types.Var
+		if as.Tok == token.DEFINE {
+			v, _ = info.Defs[id].(*types.Var)
+		} else {
+			v, _ = info.Uses[id].(*types.Var)
+		}
+		if v == nil {
+			continue
+		}
+		s.Defs[v] = append(s.Defs[v], id.Pos())
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && !v.IsField() {
+			d.mutatedPkgVars[v] = append(d.mutatedPkgVars[v], id.Pos())
+		}
+		// Boxing on plain assignment into an interface-typed variable.
+		if as.Tok == token.ASSIGN && i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
+			if _, isIface := v.Type().Underlying().(*types.Interface); isIface {
+				if rt, ok := info.Types[as.Rhs[i]]; ok && rt.Type != nil && boxes(rt.Type) {
+					addAlloc(as.Rhs[i].Pos(), AllocIfaceBox,
+						fmt.Sprintf("assigning %s into interface variable %q boxes", rt.Type, v.Name()))
+				}
+			}
+		}
+	}
+}
+
+func (d *Dataflow) recordRangeDefs(s *FuncSummary, rs *ast.RangeStmt) {
+	info := s.Pkg.Info
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var v *types.Var
+		if rs.Tok == token.DEFINE {
+			v, _ = info.Defs[id].(*types.Var)
+		} else {
+			v, _ = info.Uses[id].(*types.Var)
+		}
+		if v != nil {
+			s.Defs[v] = append(s.Defs[v], id.Pos())
+		}
+	}
+}
+
+// handoffNames are callee names that hand a closure to another goroutine:
+// the campaign engine's worker pool (submit) and the common Go fan-out
+// helpers.
+var handoffNames = map[string]bool{
+	"submit": true, "Submit": true, "Go": true, "Spawn": true,
+}
+
+// recordHandoff recognizes closures passed into a worker pool.
+func (d *Dataflow) recordHandoff(s *FuncSummary, call *ast.CallExpr) {
+	var name string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return
+	}
+	if !handoffNames[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+			d.recordClosure(s, lit, call.Pos(), name)
+		}
+	}
+}
+
+// recordSpawn handles `go f(...)` statements: closures are analyzed for
+// captures; named-function spawns only pass values and need no capture
+// analysis.
+func (d *Dataflow) recordSpawn(s *FuncSummary, call *ast.CallExpr, pos token.Pos, handoff string) {
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		d.recordClosure(s, lit, pos, handoff)
+	}
+}
+
+// syncPkgs are packages whose types/functions synchronize by construction.
+var syncPkgs = map[string]bool{"sync": true, "sync/atomic": true}
+
+// recordClosure computes the capture set of one spawned closure.
+func (d *Dataflow) recordClosure(s *FuncSummary, lit *ast.FuncLit, spawnPos token.Pos, handoff string) {
+	info := s.Pkg.Info
+	ci := ClosureInfo{Lit: lit, SpawnPos: spawnPos, Handoff: handoff}
+
+	loop := enclosingLoopBody(s.Decl, spawnPos)
+
+	caps := make(map[*types.Var]*Capture)
+	order := []*types.Var{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		// Locks and atomics inside the closure mark it as synchronized.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					ci.UsesSync = true
+				}
+				if p := pkgPath(info, sel.X); syncPkgs[p] {
+					ci.UsesSync = true
+				}
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the closure: goroutine-local
+		}
+		c := caps[v]
+		if c == nil {
+			pkgLevel := v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+			c = &Capture{
+				Obj:      v,
+				FirstUse: id.Pos(),
+				PkgLevel: pkgLevel,
+				PerIteration: !pkgLevel && loop != nil &&
+					v.Pos() >= loop.Pos() && v.Pos() <= loop.End(),
+			}
+			caps[v] = c
+			order = append(order, v)
+		}
+		return true
+	})
+
+	// Classify writes to captured variables inside the closure body.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				d.classifyCaptureWrite(info, caps, lhs, n, i)
+			}
+		case *ast.IncDecStmt:
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					if c := caps[v]; c != nil {
+						c.Writes = append(c.Writes, CaptureWrite{Pos: n.Pos(), Kind: WriteAssign})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, v := range order {
+		ci.Captures = append(ci.Captures, *caps[v])
+	}
+	s.Closures = append(s.Closures, ci)
+}
+
+// classifyCaptureWrite attributes one assignment LHS to a captured variable.
+func (d *Dataflow) classifyCaptureWrite(info *types.Info, caps map[*types.Var]*Capture, lhs ast.Expr, as *ast.AssignStmt, i int) {
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[l].(*types.Var)
+		if !ok {
+			return
+		}
+		c := caps[v]
+		if c == nil {
+			return
+		}
+		kind := WriteAssign
+		// x = append(x, ...) is an append-shaped write.
+		if i < len(as.Rhs) {
+			if call, ok := unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						kind = WriteAppend
+					}
+				}
+			}
+		}
+		c.Writes = append(c.Writes, CaptureWrite{Pos: lhs.Pos(), Kind: kind})
+	case *ast.IndexExpr:
+		base, ok := unparen(l.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := info.Uses[base].(*types.Var)
+		if !ok {
+			return
+		}
+		c := caps[v]
+		if c == nil {
+			return
+		}
+		kind := WriteIndex
+		if tv, ok := info.Types[l.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				kind = WriteMap
+			}
+		}
+		w := CaptureWrite{Pos: lhs.Pos(), Kind: kind}
+		if kind == WriteIndex {
+			w.IndexPerTask = indexIsPerTask(info, caps, l.Index)
+		}
+		c.Writes = append(c.Writes, w)
+	case *ast.SelectorExpr:
+		base, ok := unparen(l.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := info.Uses[base].(*types.Var)
+		if !ok {
+			return
+		}
+		if c := caps[v]; c != nil {
+			c.Writes = append(c.Writes, CaptureWrite{Pos: lhs.Pos(), Kind: WriteField})
+		}
+	}
+}
+
+// indexIsPerTask reports whether an index expression is a constant or a
+// captured per-iteration variable — the disjoint pre-assigned-slot idiom.
+func indexIsPerTask(info *types.Info, caps map[*types.Var]*Capture, idx ast.Expr) bool {
+	idx = unparen(idx)
+	if tv, ok := info.Types[idx]; ok && tv.Value != nil {
+		return true // constant index: one slot, but not racing per-task state
+	}
+	id, ok := idx.(*ast.Ident)
+	if !ok {
+		// Arithmetic over per-iteration values (pi*trialsPerPoint + t):
+		// accept when every identifier inside is per-task or constant.
+		ok := true
+		found := false
+		ast.Inspect(idx, func(n ast.Node) bool {
+			nid, isID := n.(*ast.Ident)
+			if !isID {
+				return true
+			}
+			v, isVar := info.Uses[nid].(*types.Var)
+			if !isVar {
+				return true
+			}
+			found = true
+			if c := caps[v]; c == nil || !c.PerIteration {
+				ok = false
+			}
+			return true
+		})
+		return ok && found
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	c := caps[v]
+	return c != nil && c.PerIteration
+}
+
+// ---------------------------------------------------------------------------
+// Transitive allocation analysis
+
+// stdlibAllocFree lists stdlib call targets known not to allocate, by
+// package path (whole package) or path.Func / (Type).Method name.
+var stdlibAllocFree = map[string]bool{
+	"math/bits":   true,
+	"math":        true,
+	"sync/atomic": true,
+	// encoding/binary's byte-order methods operate on caller storage.
+	"encoding/binary.littleEndian": true,
+	"encoding/binary.bigEndian":    true,
+	"encoding/binary.LittleEndian": true,
+	"encoding/binary.BigEndian":    true,
+}
+
+func stdlibCallAllocFree(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true // builtins like error.Error — no package; treat as opaque-safe? no: unreachable
+	}
+	if stdlibAllocFree[pkg.Path()] {
+		return true
+	}
+	// Method on a named type: key by package.TypeName.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if stdlibAllocFree[pkg.Path()+"."+named.Obj().Name()] {
+				return true
+			}
+		}
+	}
+	return stdlibAllocFree[pkg.Path()+"."+fn.Name()]
+}
+
+// TransitiveAllocs returns every unsanctioned allocation reachable from fn
+// through the module-local call graph. Interface calls are devirtualized
+// against every implementation in the loaded package set; calls that cannot
+// be resolved at all are themselves reported as assumed-allocating. Calls
+// through func-typed values (hooks, callbacks) are NOT followed — the
+// documented soundness caveat. Results are memoized; recursion is handled
+// by treating in-progress callees as alloc-free (their own sites are
+// reported when their traversal completes).
+func (d *Dataflow) TransitiveAllocs(fn *types.Func) []AllocFinding {
+	if cached, ok := d.transitive[fn]; ok {
+		return cached
+	}
+	if d.inProgress[fn] {
+		return nil
+	}
+	d.inProgress[fn] = true
+	defer delete(d.inProgress, fn)
+
+	var out []AllocFinding
+	s := d.summaries[fn]
+	if s == nil {
+		// Outside the loaded universe: callers report the edge.
+		d.transitive[fn] = nil
+		return nil
+	}
+	for _, site := range s.Allocs {
+		if site.Sanctioned {
+			continue
+		}
+		out = append(out, AllocFinding{Site: site, In: fn, Chain: []*types.Func{fn}})
+	}
+	for _, call := range s.Calls {
+		if call.Sanctioned {
+			continue
+		}
+		out = append(out, d.callFindings(fn, call)...)
+	}
+	d.transitive[fn] = out
+	return out
+}
+
+func (d *Dataflow) callFindings(caller *types.Func, call CallSite) []AllocFinding {
+	prepend := func(findings []AllocFinding) []AllocFinding {
+		out := make([]AllocFinding, len(findings))
+		for i, f := range findings {
+			chain := make([]*types.Func, 0, len(f.Chain)+1)
+			chain = append(chain, caller)
+			chain = append(chain, f.Chain...)
+			out[i] = AllocFinding{Site: f.Site, In: f.In, Chain: chain}
+		}
+		return out
+	}
+	switch call.Kind {
+	case CallStatic:
+		callee := call.Callee
+		if d.summaries[callee] != nil {
+			return prepend(d.TransitiveAllocs(callee))
+		}
+		if stdlibCallAllocFree(callee) {
+			return nil
+		}
+		kind := AllocCallStdlib
+		if callee.Pkg() != nil && !isStdlibPath(callee.Pkg().Path()) {
+			kind = AllocCallUnknown
+		}
+		return []AllocFinding{{
+			Site: AllocSite{
+				Pos:  call.Pos,
+				Kind: kind,
+				Desc: fmt.Sprintf("call to %s is assumed to allocate (no summary, not on the allowlist)", funcLabel(callee)),
+			},
+			In:    caller,
+			Chain: []*types.Func{caller},
+		}}
+	case CallInterface:
+		impls := d.devirtualize(call.Callee)
+		if len(impls) == 0 {
+			return []AllocFinding{{
+				Site: AllocSite{
+					Pos:  call.Pos,
+					Kind: AllocCallUnknown,
+					Desc: fmt.Sprintf("interface call %s has no loaded implementation; assumed to allocate", funcLabel(call.Callee)),
+				},
+				In:    caller,
+				Chain: []*types.Func{caller},
+			}}
+		}
+		var out []AllocFinding
+		for _, impl := range impls {
+			out = append(out, prepend(d.TransitiveAllocs(impl))...)
+		}
+		return out
+	default: // CallDynamic: hooks/callbacks are the caller's responsibility.
+		return nil
+	}
+}
+
+// devirtualize finds every concrete method in the loaded universe that an
+// interface method call may dispatch to.
+func (d *Dataflow) devirtualize(ifaceMethod *types.Func) []*types.Func {
+	if cached, ok := d.implCache[ifaceMethod]; ok {
+		return cached
+	}
+	sig := ifaceMethod.Type().(*types.Signature)
+	var iface *types.Interface
+	if recv := sig.Recv(); recv != nil {
+		iface, _ = recv.Type().Underlying().(*types.Interface)
+	}
+	var impls []*types.Func
+	if iface != nil {
+		for _, pkg := range d.pkgs {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				for _, t := range []types.Type{named, types.NewPointer(named)} {
+					if _, isIface := named.Underlying().(*types.Interface); isIface {
+						continue
+					}
+					if !types.Implements(t, iface) {
+						continue
+					}
+					obj, _, _ := types.LookupFieldOrMethod(t, true, pkg.Types, ifaceMethod.Name())
+					if m, ok := obj.(*types.Func); ok && d.summaries[m] != nil {
+						impls = append(impls, m)
+					}
+					break // pointer form adds nothing if value form implements
+				}
+			}
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return funcLabel(impls[i]) < funcLabel(impls[j]) })
+	impls = dedupFuncs(impls)
+	d.implCache[ifaceMethod] = impls
+	return impls
+}
+
+func dedupFuncs(fns []*types.Func) []*types.Func {
+	out := fns[:0]
+	var prev *types.Func
+	for _, f := range fns {
+		if f != prev {
+			out = append(out, f)
+		}
+		prev = f
+	}
+	return out
+}
+
+// ChainString renders a call chain for diagnostics: "Step -> Cycle -> doIssue".
+func ChainString(chain []*types.Func) string {
+	parts := make([]string, len(chain))
+	for i, fn := range chain {
+		parts[i] = funcLabel(fn)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func funcLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg().Name() != "" {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func pkgPath(info *types.Info, expr ast.Expr) string {
+	id, ok := unparen(expr).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// fieldOrLocalVar resolves the variable a method call's receiver expression
+// names: a local/package variable or a struct field (w.f.Sync() -> Writer.f).
+func fieldOrLocalVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := unparen(expr).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// calleeSignature extracts the called signature for boxing analysis.
+func calleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// boxes reports whether converting a value of type t into an interface
+// allocates: interfaces and pointers don't (the word is stored directly),
+// zero-size types don't, everything else may.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	case *types.Struct:
+		return u.NumFields() > 0
+	}
+	return true
+}
+
+func isStringBytesConv(to, from types.Type) bool {
+	toB, toOK := to.Underlying().(*types.Basic)
+	fromB, fromOK := from.Underlying().(*types.Basic)
+	toSlice, toSliceOK := to.Underlying().(*types.Slice)
+	fromSlice, fromSliceOK := from.Underlying().(*types.Slice)
+
+	isStr := func(b *types.Basic, ok bool) bool { return ok && b.Info()&types.IsString != 0 }
+	isByteRune := func(s *types.Slice, ok bool) bool {
+		if !ok {
+			return false
+		}
+		b, isB := s.Elem().Underlying().(*types.Basic)
+		return isB && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(toB, toOK) && isByteRune(fromSlice, fromSliceOK)) ||
+		(isByteRune(toSlice, toSliceOK) && isStr(fromB, fromOK))
+}
+
+// isStdlibPath reports whether an import path is standard library (no dot
+// in the first path element, and not this module).
+func isStdlibPath(path string) bool {
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}
+
+// enclosingLoopBody returns the innermost for/range statement in fd that
+// contains pos, or nil.
+func enclosingLoopBody(fd *ast.FuncDecl, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= pos && pos <= n.End() {
+				best = n // keep innermost: later matches are nested deeper
+			}
+		}
+		return true
+	})
+	return best
+}

@@ -9,12 +9,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -27,6 +29,35 @@ type Package struct {
 	Files []*ast.File // parsed with comments, non-test files only
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader // back-pointer for cross-package summaries (dataflow)
+}
+
+// LoadedImport returns the already-type-checked module-local package at the
+// given import path, or nil if this loader never pulled it in. Dataflow
+// summaries use it to follow calls across package boundaries without
+// re-checking anything (type identity must stay unified).
+func (p *Package) LoadedImport(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.pkgs[path]
+}
+
+// LoadedPackages returns every package this loader has checked so far
+// (including p itself), sorted by import path. The dataflow engine walks
+// them to build module-local call-graph summaries and to devirtualize
+// interface calls against every known implementation.
+func (p *Package) LoadedPackages() []*Package {
+	if p.loader == nil {
+		return []*Package{p}
+	}
+	out := make([]*Package, 0, len(p.loader.pkgs))
+	for _, pkg := range p.loader.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // Loader type-checks packages of the enclosing module from source. Imports
@@ -139,6 +170,10 @@ func (l *Loader) load(dir, path string, _ interface{}) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Ignored-by-convention and platform-suffixed files, as go build.
+		if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") || excludedByFilename(name) {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -146,11 +181,22 @@ func (l *Loader) load(dir, path string, _ interface{}) (*Package, error) {
 		return nil, fmt.Errorf("%s: no Go files", dir)
 	}
 	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if excludedByBuildTags(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: every Go file is excluded by build constraints", dir)
 	}
 
 	info := &types.Info{
@@ -173,13 +219,100 @@ func (l *Loader) load(dir, path string, _ interface{}) (*Package, error) {
 		return nil, fmt.Errorf("%s: type errors: %v", path, typeErrs[0])
 	}
 	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// knownGOOS / knownGOARCH mirror the toolchain's filename-based build
+// constraints: a file named x_windows.go or x_arm64.go only builds on that
+// platform. The lists cover the values that appear in real trees; an
+// unknown suffix is just part of the name.
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// excludedByFilename applies GOOS/GOARCH filename constraints
+// (name_GOOS.go, name_GOARCH.go, name_GOOS_GOARCH.go) against the host
+// platform, as `go build` does.
+func excludedByFilename(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	// Walk the trailing _segments: an arch segment may follow an os segment.
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownGOARCH[last] {
+			if last != runtime.GOARCH {
+				return true
+			}
+			parts = parts[:len(parts)-1]
+		}
+	}
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownGOOS[last] && last != runtime.GOOS {
+			return true
+		}
+	}
+	return false
+}
+
+// excludedByBuildTags reports whether the file's build constraint (a
+// //go:build line, or legacy // +build lines, before the package clause)
+// excludes it from the host build. Satisfied tags are the host GOOS/GOARCH,
+// "gc", and every go1.N release tag up to the running toolchain — the same
+// universe `go build` would use in this environment.
+func excludedByBuildTags(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			return false // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) && !constraint.IsPlusBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue
+		}
+		if !expr.Eval(buildTagSatisfied) {
+			return true
+		}
+	}
+	return false
+}
+
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		var want int
+		if _, err := fmt.Sscanf(rest, "%d", &want); err == nil {
+			var have int
+			if _, err := fmt.Sscanf(runtime.Version(), "go1.%d", &have); err == nil {
+				return want <= have
+			}
+			return true // devel toolchain: assume newest
+		}
+	}
+	return false
 }

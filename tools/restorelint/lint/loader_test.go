@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module on disk and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// otherGOOS returns a GOOS that is not the host's, for filename-constraint
+// fixtures that must be excluded.
+func otherGOOS() string {
+	if runtime.GOOS == "windows" {
+		return "linux"
+	}
+	return "windows"
+}
+
+// broken is file content that fails type-checking if the loader ever parses
+// it: every exclusion test plants it in a file that go build would skip, so
+// a loader bug surfaces as a loud Load error rather than a silent pass.
+const broken = "package a\n\nvar x = definitelyUndefined\n"
+
+// TestLoaderSkipsExcludedFiles pins the loader's file-selection rules to
+// `go build`'s: _test.go files, _/.-prefixed files, files with a foreign
+// GOOS/GOARCH filename suffix, and files excluded by //go:build or legacy
+// // +build constraints never reach the type checker.
+func TestLoaderSkipsExcludedFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                        "module lintedge\n\ngo 1.24\n",
+		"a/a.go":                        "package a\n\n// Kept returns a constant.\nfunc Kept() int { return 1 }\n",
+		"a/a_test.go":                   broken,
+		"a/_draft.go":                   broken,
+		"a/.hidden.go":                  broken,
+		"a/port_" + otherGOOS() + ".go": broken,
+		"a/tagged.go":                   "//go:build neverbuildme\n\n" + broken,
+		"a/legacy.go":                   "// +build neverbuildme\n\n" + broken,
+		"a/README.md":                   "not Go at all",
+		// A satisfied constraint must NOT be excluded: go1.1 holds on every
+		// toolchain this repo supports, and the host GOOS always matches.
+		"a/kepttag.go": "//go:build go1.1 && " + runtime.GOOS + "\n\npackage a\n\n// AlsoKept returns a constant.\nfunc AlsoKept() int { return 2 }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join(root, "a"))
+	if err != nil {
+		t.Fatalf("Load: %v (an excluded file leaked into the type checker?)", err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (a.go, kepttag.go)", len(pkg.Files))
+	}
+	for _, name := range []string{"Kept", "AlsoKept"} {
+		if pkg.Types.Scope().Lookup(name) == nil {
+			t.Errorf("exported func %s missing from the checked package", name)
+		}
+	}
+}
+
+// TestLoaderAllFilesExcluded pins the diagnostic when build constraints
+// exclude every file in a directory.
+func TestLoaderAllFilesExcluded(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module lintedge\n\ngo 1.24\n",
+		"a/tagged.go": "//go:build neverbuildme\n\npackage a\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(filepath.Join(root, "a")); err == nil ||
+		!strings.Contains(err.Error(), "excluded by build constraints") {
+		t.Fatalf("Load = %v, want build-constraint error", err)
+	}
+}
+
+// TestDataflowCrossPackageUnexported pins that call-graph summaries follow
+// module-local calls through unexported identifiers in other packages: a
+// hot path in package b reaching an allocation inside package a's
+// unexported helper must be reported, even though the helper is invisible
+// to b's scope.
+func TestDataflowCrossPackageUnexported(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module lintedge\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+// grow is unexported: only reachable through Exported's summary.
+func grow(n int) []int { return make([]int, n) }
+
+// Exported wraps the unexported allocator.
+func Exported(n int) []int { return grow(n) }
+`,
+		"b/b.go": `package b
+
+import "lintedge/a"
+
+// Hot is the analysis root.
+//
+//restorelint:hotpath
+func Hot(n int) []int { return a.Exported(n) }
+`,
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join(root, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := NewDataflow(pkg)
+	roots := df.HotPaths(pkg)
+	if len(roots) != 1 || roots[0].Fn.Name() != "Hot" {
+		t.Fatalf("HotPaths = %v, want [Hot]", roots)
+	}
+	findings := df.TransitiveAllocs(roots[0].Fn)
+	if len(findings) != 1 {
+		t.Fatalf("TransitiveAllocs = %d findings, want 1", len(findings))
+	}
+	f := findings[0]
+	if f.In.Name() != "grow" {
+		t.Errorf("allocation attributed to %s, want a.grow", f.In.Name())
+	}
+	chain := ChainString(f.Chain)
+	for _, fn := range []string{"Hot", "Exported", "grow"} {
+		if !strings.Contains(chain, fn) {
+			t.Errorf("chain %q missing %s", chain, fn)
+		}
+	}
+}

@@ -9,6 +9,12 @@
 //	stateregister  every uint64 state-struct field reaches the StateSpace
 //	protectpolicy  protection-domain switches are exhaustive; protection
 //	               maps are consulted only through consultProtection
+//	hotpathalloc   //restorelint:hotpath functions are transitively
+//	               allocation-free in steady state
+//	goroutineshare goroutines share mutable state only through sync
+//	               primitives or the pre-assigned indexed-slot idiom
+//	durableio      campaignio fsyncs before publishing and CRC-checks
+//	               before trusting records
 //
 // Usage:
 //
@@ -50,6 +56,15 @@ var scopes = map[*lint.Analyzer][]string{
 		"internal/harden", "internal/protect", "internal/inject",
 		"internal/experiments", "internal/restore",
 	},
+	analyzers.HotPathAlloc: {
+		"internal/pipeline", "internal/mem", "internal/arch", "internal/inject",
+		"internal/cache", "internal/predictor",
+	},
+	analyzers.GoroutineShare: {
+		"internal/inject", "internal/campaignio", "internal/experiments",
+		"internal/obs", "internal/restore",
+	},
+	analyzers.DurableIO: {"internal/campaignio"},
 }
 
 // order fixes the reporting order of analyzers within a package.
@@ -60,6 +75,9 @@ var order = []*lint.Analyzer{
 	analyzers.BitWidth,
 	analyzers.StateRegister,
 	analyzers.ProtectPolicy,
+	analyzers.HotPathAlloc,
+	analyzers.GoroutineShare,
+	analyzers.DurableIO,
 }
 
 func main() {
