@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -74,5 +75,66 @@ func TestArchStepAllocFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(2_000, func() { sim.Step() })
 	if allocs != 0 {
 		t.Fatalf("arch.Sim.Step allocated %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestPipelineStepWithDecodeCacheAllocFree pins the campaign configuration
+// of the hot path: Step with a decode cache attached must stay at zero
+// allocations, since every campaign trial runs this exact shape.
+func TestPipelineStepWithDecodeCacheAllocFree(t *testing.T) {
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetDecodeCache(isa.NewDecodeCache(prog.CodeBase, prog.Code))
+	p.RunCycles(5_000)
+	if p.Status() != pipeline.StatusRunning {
+		t.Fatal("pipeline stopped during warm-up")
+	}
+	allocs := testing.AllocsPerRun(2_000, p.Step)
+	if allocs != 0 {
+		t.Fatalf("pipeline.Step with decode cache allocated %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestStateHashAllocFree pins the masked-detection digest: after the space
+// seals, Hash is a pure sweep of the packed backing and must not allocate
+// in either digest mode.
+func TestStateHashAllocFree(t *testing.T) {
+	p := warmPipeline(t)
+	s := p.State()
+	var sink uint64
+	for _, legacy := range []bool{false, true} {
+		s.SetLegacyHash(legacy)
+		allocs := testing.AllocsPerRun(1_000, func() { sink ^= s.Hash() })
+		if allocs != 0 {
+			t.Fatalf("Hash (legacy=%v) allocated %.2f objects/op, want 0", legacy, allocs)
+		}
+	}
+	s.SetLegacyHash(false)
+	_ = sink
+}
+
+// TestArchStepWithDecodeCacheAllocFree pins the VM-campaign shape of the
+// architectural inner loop.
+func TestArchStepWithDecodeCacheAllocFree(t *testing.T) {
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1})
+	m, err := prog.NewMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := arch.New(m, prog.Entry)
+	sim.DCache = isa.NewDecodeCache(prog.CodeBase, prog.Code)
+	if _, _, err := sim.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2_000, func() { sim.Step() })
+	if allocs != 0 {
+		t.Fatalf("arch.Sim.Step with decode cache allocated %.2f objects/op, want 0", allocs)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harden"
 	"repro/internal/inject"
+	"repro/internal/isa"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/restore"
@@ -258,7 +259,8 @@ func BenchmarkPipelineCycle(b *testing.B) {
 }
 
 // BenchmarkStateHash measures the state-digest cost that dominates masked
-// detection in campaigns.
+// detection in campaigns: the packed extent walk against the original
+// per-element digest it replaced (kept behind SetLegacyHash).
 func BenchmarkStateHash(b *testing.B) {
 	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1})
 	m, err := prog.NewMemory()
@@ -270,12 +272,63 @@ func BenchmarkStateHash(b *testing.B) {
 		b.Fatal(err)
 	}
 	p.RunCycles(2000)
-	b.ResetTimer()
-	var sink uint64
-	for i := 0; i < b.N; i++ {
-		sink ^= p.State().Hash()
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"packed", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p.State().SetLegacyHash(mode.legacy)
+			defer p.State().SetLegacyHash(false)
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= p.State().Hash()
+			}
+			_ = sink
+		})
 	}
-	_ = sink
+}
+
+// BenchmarkPipelineCycleDecodeCache measures cycle throughput in the
+// campaign configuration: a shared decode cache replaces isa.Decode on
+// every fetched word.
+func BenchmarkPipelineCycleDecodeCache(b *testing.B) {
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1})
+	m, err := prog.NewMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.SetDecodeCache(isa.NewDecodeCache(prog.CodeBase, prog.Code))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Cycle()
+		if p.Status() != pipeline.StatusRunning {
+			b.Fatal("pipeline stopped")
+		}
+	}
+	b.ReportMetric(p.Stats().IPC(), "ipc")
+}
+
+// BenchmarkArchSimStepDecodeCache measures the architectural simulator in
+// the VM-campaign configuration (shared decode cache attached).
+func BenchmarkArchSimStepDecodeCache(b *testing.B) {
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1})
+	m, err := prog.NewMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := arch.New(m, prog.Entry)
+	sim.DCache = isa.NewDecodeCache(prog.CodeBase, prog.Code)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := sim.Step(); ev.Exception != arch.ExcNone {
+			b.Fatal("golden exception")
+		}
+	}
 }
 
 // BenchmarkPipelineClone measures the per-trial forking cost of campaigns.

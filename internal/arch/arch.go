@@ -108,6 +108,12 @@ type Sim struct {
 	Excepted bool
 	// LastException records the exception that stopped the simulator.
 	LastException ExceptionKind
+
+	// DCache, when non-nil, memoises isa.Decode over the workload's
+	// static code image (campaigns build it once per program). Not
+	// architectural state: lookups verify the fetched word, so corrupted
+	// or rewritten code decodes afresh and behaviour is unchanged.
+	DCache *isa.DecodeCache
 }
 
 // New returns a simulator starting at entry over the given memory image.
@@ -157,7 +163,13 @@ func (s *Sim) Step() Event {
 	if err != nil {
 		return s.except(ev, ExcAccessFault, s.PC)
 	}
-	inst := isa.Decode(word)
+	inst, cached := isa.Inst{}, false
+	if s.DCache != nil {
+		inst, cached = s.DCache.Lookup(s.PC, word)
+	}
+	if !cached {
+		inst = isa.Decode(word)
+	}
 	ev.Inst = inst
 	nextPC := s.PC + isa.InstBytes
 

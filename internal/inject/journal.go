@@ -42,9 +42,10 @@ var ErrInterrupted = errors.New("inject: campaign interrupted")
 const journalBatch = 64
 
 // fingerprint hashes the canonical form of a campaign's plan-relevant fields.
-// Workers, Progress, Obs, Interrupt and the durability fields are excluded:
-// they never influence results, and a campaign journalled serially must
-// resume under any worker count.
+// Workers, Progress, Obs, Interrupt, the durability fields and the inert
+// engine toggles (NoDecodeCache, NoEarlyExit, LegacyHash) are excluded: they
+// never influence results, and a campaign journalled serially must resume
+// under any worker count or engine setting.
 func fingerprint(canonical string) string {
 	h := fnv.New64a()
 	h.Write([]byte(canonical))

@@ -74,6 +74,27 @@ type UArchConfig struct {
 	// Pipeline optionally overrides the processor configuration.
 	Pipeline *pipeline.Config
 
+	// NoDecodeCache disables the shared pre-decoded instruction cache
+	// built once per campaign from the workload's code image. The cache
+	// verifies every fetched word before hitting, so it is inert: results
+	// are byte-identical either way (the equivalence tests prove it), and
+	// the toggle is excluded from the durable-campaign plan string.
+	NoDecodeCache bool
+
+	// NoEarlyExit keeps every trial simulating to the end of its window
+	// even after its outcome classification is final (terminal pipeline
+	// status or masked reconvergence), instead of stopping at the
+	// decision. Inert by construction — the decided classification is
+	// what the trial reports either way — and excluded from the plan
+	// string; exists to prove the early-exit engine sound.
+	NoEarlyExit bool
+
+	// LegacyHash selects the original per-element state digest instead of
+	// the packed extent walk. Trials compare hashes only for equality
+	// within one campaign, so the choice is inert and excluded from the
+	// plan string; exists to prove campaign outcomes digest-independent.
+	LegacyHash bool
+
 	// Workers is the number of goroutines trials fan out across; 0 (or 1)
 	// runs the campaign serially on the calling goroutine. Results are
 	// bit-identical for every worker count: all random bit picks are
@@ -223,6 +244,12 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.NoDecodeCache {
+		// Decode the code image once; every clone shares the cache
+		// read-only (Clone/ResetFrom propagate the pointer).
+		master.SetDecodeCache(isa.NewDecodeCache(prog.CodeBase, prog.Code))
+	}
+	master.State().SetLegacyHash(cfg.LegacyHash)
 	// Per-stage counters and occupancy histograms track the master (warm-up
 	// walk + golden recording); per-trial clones never inherit the
 	// attachment (Clone/ResetFrom drop it).
@@ -429,7 +456,7 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 			faulty := pool.acquire(master)
 			ref := pick.ref
 			eng.submit(func() {
-				runUArchTrial(faulty, ref, cfg.BurstBits, trace, cfg.WindowCycles, &trial)
+				runUArchTrial(faulty, ref, cfg.BurstBits, trace, cfg.WindowCycles, &trial, cfg.NoEarlyExit)
 				trials[slot] = trial
 				jr.record(slot, &trials[slot])
 				pool.release(faulty)
@@ -564,8 +591,11 @@ func recordGolden(master *pipeline.Pipeline, window uint64) (*goldenTrace, error
 }
 
 // runUArchTrial flips the bit and monitors the clone against the golden
-// trace.
-func runUArchTrial(f *pipeline.Pipeline, ref pipeline.BitRef, burst int, trace *goldenTrace, window uint64, trial *UArchTrial) {
+// trace. The trial stops as soon as its classification is decided — a
+// terminal pipeline status or a masked reconvergence — unless noEarlyExit
+// asks for the proof mode, which freezes the decision (trialDecision), runs
+// the window out, and returns the frozen record.
+func runUArchTrial(f *pipeline.Pipeline, ref pipeline.BitRef, burst int, trace *goldenTrace, window uint64, trial *UArchTrial, noEarlyExit bool) {
 	const hashEvery = 16
 
 	// Flip a run of adjacent bits within the element (single-bit unless
@@ -724,36 +754,64 @@ func runUArchTrial(f *pipeline.Pipeline, ref pipeline.BitRef, burst int, trace *
 		}
 	}
 
+	var dec trialDecision
 	for c := uint64(1); c <= window; c++ {
 		f.Step()
 		switch f.Status() {
 		case pipeline.StatusExcepted:
-			kind, _, _ := f.Exception()
-			trial.ExcLat = latency()
-			trial.ExcKind = kind
-			return
+			if !dec.decided {
+				kind, _, _ := f.Exception()
+				trial.ExcLat = latency()
+				trial.ExcKind = kind
+				dec.decide(trial)
+			}
+			if !noEarlyExit {
+				return
+			}
 		case pipeline.StatusDeadlocked:
-			trial.DeadlockLat = latency()
-			return
+			if !dec.decided {
+				trial.DeadlockLat = latency()
+				dec.decide(trial)
+			}
+			if !noEarlyExit {
+				return
+			}
 		case pipeline.StatusHalted:
 			// Synthetic workloads never halt; a committed HALT means
 			// corrupted control flow reached a halt encoding.
-			if trial.CFVLat == Never {
-				trial.CFVLat = latency()
+			if !dec.decided {
+				if trial.CFVLat == Never {
+					trial.CFVLat = latency()
+				}
+				trial.EverDiverged = true
+				dec.decide(trial)
 			}
-			trial.EverDiverged = true
-			return
+			if !noEarlyExit {
+				return
+			}
 		}
 		if c%hashEvery == 0 && !cfv && divergedN == 0 && len(divergedMem) == 0 {
 			if gc, ok := trace.hashAt[f.State().Hash()]; ok && gc <= c {
 				// Microarchitectural state matches the golden run
 				// (possibly lagged): the fault is gone.
-				trial.Masked = true
-				return
+				if !dec.decided {
+					trial.Masked = true
+					dec.decide(trial)
+				}
+				if !noEarlyExit {
+					return
+				}
 			}
 		}
 	}
 
+	if dec.decided {
+		// NoEarlyExit ran the window out past the decision; the frozen
+		// classification is the result, and final classification is
+		// skipped exactly as the early-exit returns skip it.
+		*trial = dec.frozen
+		return
+	}
 	trial.ArchCorrupt = cfv || divergedN > 0 || len(divergedMem) > 0
 	// The fault is "stuck" when the flipped bit still holds its post-flip
 	// value and nothing architectural ever diverged: it sits unread in

@@ -46,6 +46,20 @@ type VMConfig struct {
 	// Section 3.1 sensitivity study of virtual-address-space size.
 	Low32 bool
 
+	// NoDecodeCache disables the shared pre-decoded instruction cache
+	// built once per campaign from the workload's code image. The cache
+	// verifies every fetched word before hitting, so it is inert: results
+	// are byte-identical either way (the equivalence tests prove it), and
+	// the toggle is excluded from the durable-campaign plan string.
+	NoDecodeCache bool
+
+	// NoEarlyExit keeps every trial replaying its full golden window even
+	// after the faulty machine has halted behind a control-flow
+	// divergence, where every remaining step is a stopped no-op. Inert by
+	// construction and excluded from the plan string; exists to prove the
+	// early exit sound.
+	NoEarlyExit bool
+
 	// Policy, if non-nil, applies a protection policy (internal/protect)
 	// at this campaign's architectural fault model: the flipped result bit
 	// lives in the physical register file, so a policy covering "prf.val"
@@ -199,6 +213,13 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	}
 	m.EnableJournal()
 	sim := arch.New(m, prog.Entry)
+	var dcache *isa.DecodeCache
+	if !cfg.NoDecodeCache {
+		// Decode the code image once; the golden simulator and every
+		// per-trial fork share the cache read-only.
+		dcache = isa.NewDecodeCache(prog.CodeBase, prog.Code)
+	}
+	sim.DCache = dcache
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
 
 	// Injection points: sorted instruction indices. Points must land on
@@ -417,11 +438,12 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 					fm = m.Clone()
 				}
 				fsim := arch.New(fm, prog.Entry)
+				fsim.DCache = dcache
 				fsim.Restore(preRegs)
 				fsim.SetReg(injEv.Dest, fsim.Reg(injEv.Dest)^(1<<bit))
 				injDest, injPC := injEv.Dest, injEv.PC
 				eng.submit(func() {
-					trial := runVMTrial(fsim, injDest, goldenTrace, goldenEnd)
+					trial := runVMTrial(fsim, injDest, goldenTrace, goldenEnd, cfg.NoEarlyExit)
 					trial.Point = injPC
 					trial.Bit = bit
 					trials[slot] = trial
@@ -457,7 +479,7 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 				sim.Restore(preRegs)
 				sim.SetReg(injEv.Dest, sim.Reg(injEv.Dest)^(1<<bit))
 
-				trial := runVMTrial(sim, injEv.Dest, golden, goldenEnd)
+				trial := runVMTrial(sim, injEv.Dest, golden, goldenEnd, cfg.NoEarlyExit)
 				trial.Point = injEv.PC
 				trial.Bit = bit
 				trials[slot] = trial
@@ -513,8 +535,11 @@ func protectedVMTrial(point uint64, bit uint8) VMTrial {
 }
 
 // runVMTrial executes the faulty continuation against the recorded golden
-// events and classifies its outcome.
-func runVMTrial(sim *arch.Sim, injReg isa.Reg, golden []arch.Event, goldenEnd arch.Snapshot) VMTrial {
+// events and classifies its outcome. Once the faulty machine halts behind a
+// control-flow divergence, every remaining Step is a stopped no-op that can
+// no longer change the classification, so the replay stops early (unless
+// noEarlyExit asks for the full-window proof mode).
+func runVMTrial(sim *arch.Sim, injReg isa.Reg, golden []arch.Event, goldenEnd arch.Snapshot, noEarlyExit bool) VMTrial {
 	trial := VMTrial{
 		ExcLat:     Never,
 		CFVLat:     Never,
@@ -556,7 +581,13 @@ func runVMTrial(sim *arch.Sim, injReg isa.Reg, golden []arch.Event, goldenEnd ar
 		}
 		if cfv {
 			// After control-flow divergence only exceptions are
-			// meaningful; keep running the faulty path.
+			// meaningful; keep running the faulty path. A halted faulty
+			// machine, though, steps as a stopped no-op forever — the
+			// same event every time, never an exception — so nothing in
+			// the remaining window can change the classification.
+			if ev.Halted && !noEarlyExit {
+				break
+			}
 			continue
 		}
 		if ev.PC != g.PC {

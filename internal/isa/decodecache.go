@@ -1,0 +1,49 @@
+package isa
+
+// DecodeCache memoises Decode over a program's static code image so that
+// campaigns decode each instruction once instead of once per fetched word
+// per cycle per trial. Decode is a pure function of the instruction word,
+// which makes the cache unconditionally sound: Lookup only returns a hit
+// when the fetched word still equals the word the entry was decoded from,
+// so self-modified or fault-corrupted code misses and falls back to Decode.
+//
+// A DecodeCache is immutable after construction and safe to share read-only
+// across pipeline clones and parallel campaign workers.
+type DecodeCache struct {
+	base  uint64
+	words []uint32
+	insts []Inst
+}
+
+// NewDecodeCache decodes every word of a code image based at base (the
+// workload's Program.CodeBase / Program.Code). The code slice is copied, so
+// the cache stays valid whatever the caller later does with it.
+func NewDecodeCache(base uint64, code []uint32) *DecodeCache {
+	d := &DecodeCache{
+		base:  base,
+		words: make([]uint32, len(code)),
+		insts: make([]Inst, len(code)),
+	}
+	copy(d.words, code)
+	for i, w := range code {
+		d.insts[i] = Decode(w)
+	}
+	return d
+}
+
+// Len returns the number of cached instructions.
+func (d *DecodeCache) Len() int { return len(d.insts) }
+
+// Lookup returns the pre-decoded instruction at pc if and only if pc is an
+// aligned address inside the cached image and the fetched word matches the
+// word the entry was built from. Any mismatch — wild pc from a corrupted
+// fetch latch, unaligned address, word rewritten in memory — reports a miss
+// and the caller decodes the word itself.
+func (d *DecodeCache) Lookup(pc uint64, word uint32) (Inst, bool) {
+	off := pc - d.base
+	idx := off / InstBytes
+	if off%InstBytes != 0 || idx >= uint64(len(d.words)) || d.words[idx] != word {
+		return Inst{}, false
+	}
+	return d.insts[idx], true
+}

@@ -1,0 +1,83 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeCacheHitsMatchDecode: every aligned in-range lookup with the
+// original word must hit and return exactly what Decode returns.
+func TestDecodeCacheHitsMatchDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	code := make([]uint32, 256)
+	for i := range code {
+		code[i] = Encode(randomInst(rng))
+	}
+	const base = 0x1_0000
+	d := NewDecodeCache(base, code)
+	if d.Len() != len(code) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(code))
+	}
+	for i, w := range code {
+		pc := uint64(base + i*InstBytes)
+		inst, ok := d.Lookup(pc, w)
+		if !ok {
+			t.Fatalf("miss at pc %#x", pc)
+		}
+		if inst != Decode(w) {
+			t.Fatalf("pc %#x: cached %+v != Decode %+v", pc, inst, Decode(w))
+		}
+	}
+}
+
+// TestDecodeCacheMisses: unaligned pcs, pcs outside the image, and words
+// that no longer match the image must all miss — that is the soundness
+// condition that lets faulty pipelines share the cache.
+func TestDecodeCacheMisses(t *testing.T) {
+	code := []uint32{0x47ff041f, 0x43e01401}
+	const base = 0x2_0000
+	d := NewDecodeCache(base, code)
+
+	cases := []struct {
+		name string
+		pc   uint64
+		word uint32
+	}{
+		{"unaligned", base + 1, code[0]},
+		{"unaligned mid", base + 2, code[0]},
+		{"below base", base - InstBytes, code[0]},
+		{"past end", base + uint64(len(code))*InstBytes, code[0]},
+		{"wild pc", 0, code[0]},
+		{"corrupted word", base, code[0] ^ 1},
+		{"word from other slot", base, code[1]},
+	}
+	for _, c := range cases {
+		if _, ok := d.Lookup(c.pc, c.word); ok {
+			t.Errorf("%s: Lookup(%#x, %#x) hit, want miss", c.name, c.pc, c.word)
+		}
+	}
+
+	// A pc far below base must not alias back into range through the
+	// unsigned subtraction.
+	var wildLow uint64 = base
+	wildLow -= 1 << 40
+	if _, ok := d.Lookup(wildLow, code[0]); ok {
+		t.Error("huge underflow pc hit the cache")
+	}
+}
+
+// TestDecodeCacheCopiesCode: mutating the caller's code slice after
+// construction must not affect the cache.
+func TestDecodeCacheCopiesCode(t *testing.T) {
+	code := []uint32{0x47ff041f}
+	d := NewDecodeCache(0, code)
+	orig := code[0]
+	code[0] ^= 0xffff
+	inst, ok := d.Lookup(0, orig)
+	if !ok || inst != Decode(orig) {
+		t.Fatal("cache was affected by caller mutating the code slice")
+	}
+	if _, ok := d.Lookup(0, code[0]); ok {
+		t.Fatal("mutated word should miss")
+	}
+}

@@ -35,7 +35,7 @@ func (p *Pipeline) doRename() {
 			continue
 		}
 
-		inst := isa.Decode(uint32(word))
+		inst := p.decode(pc, uint32(word))
 		if !p.dispatchOne(pc, inst, pred) {
 			return // resource stall; retry next cycle
 		}
@@ -267,7 +267,7 @@ func (p *Pipeline) doFetch() {
 			pc += isa.InstBytes
 			break
 		}
-		inst := isa.Decode(word)
+		inst := p.decode(pc, word)
 		pred := uint64(0)
 		nextPC := pc + isa.InstBytes
 

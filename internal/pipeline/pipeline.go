@@ -32,6 +32,13 @@ type Pipeline struct {
 
 	space StateSpace
 
+	// dcache, when set, memoises isa.Decode over the workload's static
+	// code image. It is not machine state: campaigns build it once and
+	// share it read-only across the clone pool and parallel workers, and
+	// lookups verify the fetched word so corrupted fetches fall back to a
+	// real decode. Nil means decode every word (the pre-cache behaviour).
+	dcache *isa.DecodeCache
+
 	// Prediction and caches (excluded from injection, Section 4.2).
 	dir    *predictor.Combined
 	btb    *predictor.BTB
@@ -192,6 +199,24 @@ func (p *Pipeline) Exception() (arch.ExceptionKind, uint64, uint64) {
 // State exposes the injectable state space.
 func (p *Pipeline) State() *StateSpace { return &p.space }
 
+// SetDecodeCache installs (or, with nil, removes) a shared pre-decoded
+// instruction cache. Clones inherit the pointer; the cache is immutable and
+// safe to share across goroutines.
+func (p *Pipeline) SetDecodeCache(d *isa.DecodeCache) { p.dcache = d }
+
+// decode turns a fetched instruction word into an Inst, consulting the
+// decode cache first. The cache hits only when the word at pc still matches
+// the cached image, so fault-corrupted words and wild PCs decode afresh and
+// behave exactly as without the cache.
+func (p *Pipeline) decode(pc uint64, word uint32) isa.Inst {
+	if p.dcache != nil {
+		if inst, ok := p.dcache.Lookup(pc, word); ok {
+			return inst
+		}
+	}
+	return isa.Decode(word)
+}
+
 // Stats returns a copy of the counters.
 func (p *Pipeline) Stats() Stats {
 	s := p.stats
@@ -270,7 +295,9 @@ func (p *Pipeline) Clone() *Pipeline {
 	n.l2 = p.l2.Clone()
 	n.itlb = p.itlb.Clone()
 	n.dtlb = p.dtlb.Clone()
-	n.registerState() // rebind element pointers to the clone's arrays
+	n.registerState() // rebind the clone's slices onto its own packed backing
+	n.space.copyPackedFrom(&p.space)
+	n.space.legacyHash = p.space.legacyHash
 	return n
 }
 
@@ -291,6 +318,9 @@ func (p *Pipeline) Clone() *Pipeline {
 //restorelint:hotpath
 func (p *Pipeline) ResetFrom(src *Pipeline) {
 	p.cfg = src.cfg
+	p.space.copyPackedFrom(&src.space)
+	p.space.legacyHash = src.space.legacyHash
+	p.dcache = src.dcache
 	p.fq.copyFrom(&src.fq)
 	p.rob.copyFrom(&src.rob)
 	p.sched.copyFrom(&src.sched)

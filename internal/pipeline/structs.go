@@ -1,11 +1,19 @@
 package pipeline
 
 // The stateful structures of the machine. Every word that models hardware
-// state is a uint64 field registered in the StateSpace, so campaigns can
-// flip any bit of any structure (except caches and predictor tables, which
-// the paper excludes). Index fields are masked at every use: a corrupted
-// pointer aliases to a wrong-but-valid entry exactly as mis-addressed
-// hardware would, and can never crash the simulator.
+// state is a uint64 registered in the StateSpace, so campaigns can flip any
+// bit of any structure (except caches and predictor tables, which the paper
+// excludes). Index fields are masked at every use: a corrupted pointer
+// aliases to a wrong-but-valid entry exactly as mis-addressed hardware
+// would, and can never crash the simulator.
+//
+// Array-shaped state lives in slices aliased onto the StateSpace's packed
+// backing array (BindArray + RegisterPacked), so hashing, snapshotting and
+// ResetFrom sweep one contiguous word array instead of chasing per-element
+// pointers. Element registration order is unchanged from the original
+// per-field arrays: that order defines the campaign sampling space
+// (NthBit), so preserving it keeps every pre-drawn pick stream — and thus
+// every published campaign result — byte-identical.
 
 // Fetch-queue pred-word bit positions (target occupies [47:0], the
 // fetch-time global history [61:52]).
@@ -22,26 +30,32 @@ const (
 // fetch queue). Entries hold the raw instruction word — the I-latches — plus
 // the front end's prediction metadata.
 type fetchQueue struct {
-	pc   [FQSize]uint64
-	word [FQSize]uint64
-	pred [FQSize]uint64
+	pc   []uint64
+	word []uint64
+	pred []uint64
 
 	head  uint64
 	count uint64
 }
 
 func (q *fetchQueue) register(s *StateSpace) {
-	for i := range q.pc {
-		s.Register("fq.pc", KindLatch, ClassControl, &q.pc[i], 48)
-		s.Register("fq.word", KindLatch, ClassControl, &q.word[i], 32)
-		s.Register("fq.pred", KindLatch, ClassControl, &q.pred[i], fqPredBits)
+	pc := s.BindArray(&q.pc, FQSize)
+	word := s.BindArray(&q.word, FQSize)
+	pred := s.BindArray(&q.pred, FQSize)
+	for i := 0; i < FQSize; i++ {
+		s.RegisterPacked("fq.pc", KindLatch, ClassControl, pc+i, 48)
+		s.RegisterPacked("fq.word", KindLatch, ClassControl, word+i, 32)
+		s.RegisterPacked("fq.pred", KindLatch, ClassControl, pred+i, fqPredBits)
 	}
 	s.Register("fq.head", KindLatch, ClassControl, &q.head, 5)
 	s.Register("fq.count", KindLatch, ClassControl, &q.count, 6)
 }
 
 func (q *fetchQueue) reset() {
-	*q = fetchQueue{}
+	clear(q.pc)
+	clear(q.word)
+	clear(q.pred)
+	q.head, q.count = 0, 0
 }
 
 func (q *fetchQueue) full() bool  { return q.count >= FQSize }
@@ -102,35 +116,53 @@ const (
 //
 //restorelint:writers doRename dispatchOne doWriteback retire commitStore executeALU executeLoad executeStore executeBranch raiseAt squashToCount
 type reorderBuffer struct {
-	ctl      [ROBSize]uint64 // packed control word (decode latches)
-	pc       [ROBSize]uint64
-	flags    [ROBSize]uint64
-	physDest [ROBSize]uint64
-	oldPhys  [ROBSize]uint64
-	archDest [ROBSize]uint64
-	result   [ROBSize]uint64 // actual branch target / memory address / exception address
-	aux      [ROBSize]uint64 // stq index (low 8) | predicted target << 8
+	ctl      []uint64 // packed control word (decode latches)
+	pc       []uint64
+	flags    []uint64
+	physDest []uint64
+	oldPhys  []uint64
+	archDest []uint64
+	result   []uint64 // actual branch target / memory address / exception address
+	aux      []uint64 // stq index (low 8) | predicted target << 8
 
 	head  uint64
 	count uint64
 }
 
 func (r *reorderBuffer) register(s *StateSpace) {
-	for i := range r.ctl {
-		s.Register("rob.ctl", KindLatch, ClassControl, &r.ctl[i], ctlBits)
-		s.Register("rob.pc", KindLatch, ClassControl, &r.pc[i], 48)
-		s.Register("rob.flags", KindLatch, ClassControl, &r.flags[i], robFlagBits)
-		s.Register("rob.physDest", KindLatch, ClassControl, &r.physDest[i], 7)
-		s.Register("rob.oldPhys", KindLatch, ClassControl, &r.oldPhys[i], 7)
-		s.Register("rob.archDest", KindLatch, ClassControl, &r.archDest[i], 5)
-		s.Register("rob.result", KindLatch, ClassData, &r.result[i], 48)
-		s.Register("rob.aux", KindLatch, ClassControl, &r.aux[i], 56)
+	ctl := s.BindArray(&r.ctl, ROBSize)
+	pc := s.BindArray(&r.pc, ROBSize)
+	flags := s.BindArray(&r.flags, ROBSize)
+	physDest := s.BindArray(&r.physDest, ROBSize)
+	oldPhys := s.BindArray(&r.oldPhys, ROBSize)
+	archDest := s.BindArray(&r.archDest, ROBSize)
+	result := s.BindArray(&r.result, ROBSize)
+	aux := s.BindArray(&r.aux, ROBSize)
+	for i := 0; i < ROBSize; i++ {
+		s.RegisterPacked("rob.ctl", KindLatch, ClassControl, ctl+i, ctlBits)
+		s.RegisterPacked("rob.pc", KindLatch, ClassControl, pc+i, 48)
+		s.RegisterPacked("rob.flags", KindLatch, ClassControl, flags+i, robFlagBits)
+		s.RegisterPacked("rob.physDest", KindLatch, ClassControl, physDest+i, 7)
+		s.RegisterPacked("rob.oldPhys", KindLatch, ClassControl, oldPhys+i, 7)
+		s.RegisterPacked("rob.archDest", KindLatch, ClassControl, archDest+i, 5)
+		s.RegisterPacked("rob.result", KindLatch, ClassData, result+i, 48)
+		s.RegisterPacked("rob.aux", KindLatch, ClassControl, aux+i, 56)
 	}
 	s.Register("rob.head", KindLatch, ClassControl, &r.head, 6)
 	s.Register("rob.count", KindLatch, ClassControl, &r.count, 7)
 }
 
-func (r *reorderBuffer) reset() { *r = reorderBuffer{} }
+func (r *reorderBuffer) reset() {
+	clear(r.ctl)
+	clear(r.pc)
+	clear(r.flags)
+	clear(r.physDest)
+	clear(r.oldPhys)
+	clear(r.archDest)
+	clear(r.result)
+	clear(r.aux)
+	r.head, r.count = 0, 0
+}
 
 func (r *reorderBuffer) full() bool { return r.count >= ROBSize }
 
@@ -168,24 +200,35 @@ const (
 //
 //restorelint:writers fillScheduler execute executeALU executeLoad executeStore executeBranch scheduleWriteback squashToCount
 type scheduler struct {
-	flags  [SchedSize]uint64
-	robIdx [SchedSize]uint64
-	src1   [SchedSize]uint64
-	src2   [SchedSize]uint64
-	src3   [SchedSize]uint64 // previous dest mapping, for conditional moves
+	flags  []uint64
+	robIdx []uint64
+	src1   []uint64
+	src2   []uint64
+	src3   []uint64 // previous dest mapping, for conditional moves
 }
 
 func (sc *scheduler) register(s *StateSpace) {
-	for i := range sc.flags {
-		s.Register("sched.flags", KindLatch, ClassControl, &sc.flags[i], schFlgBits)
-		s.Register("sched.robIdx", KindLatch, ClassControl, &sc.robIdx[i], 6)
-		s.Register("sched.src1", KindLatch, ClassControl, &sc.src1[i], 7)
-		s.Register("sched.src2", KindLatch, ClassControl, &sc.src2[i], 7)
-		s.Register("sched.src3", KindLatch, ClassControl, &sc.src3[i], 7)
+	flags := s.BindArray(&sc.flags, SchedSize)
+	robIdx := s.BindArray(&sc.robIdx, SchedSize)
+	src1 := s.BindArray(&sc.src1, SchedSize)
+	src2 := s.BindArray(&sc.src2, SchedSize)
+	src3 := s.BindArray(&sc.src3, SchedSize)
+	for i := 0; i < SchedSize; i++ {
+		s.RegisterPacked("sched.flags", KindLatch, ClassControl, flags+i, schFlgBits)
+		s.RegisterPacked("sched.robIdx", KindLatch, ClassControl, robIdx+i, 6)
+		s.RegisterPacked("sched.src1", KindLatch, ClassControl, src1+i, 7)
+		s.RegisterPacked("sched.src2", KindLatch, ClassControl, src2+i, 7)
+		s.RegisterPacked("sched.src3", KindLatch, ClassControl, src3+i, 7)
 	}
 }
 
-func (sc *scheduler) reset() { *sc = scheduler{} }
+func (sc *scheduler) reset() {
+	clear(sc.flags)
+	clear(sc.robIdx)
+	clear(sc.src1)
+	clear(sc.src2)
+	clear(sc.src3)
+}
 
 func (sc *scheduler) alloc() (int, bool) {
 	for i := range sc.flags {
@@ -212,27 +255,37 @@ const (
 //
 //restorelint:writers dispatchOne executeStore commitStore squashToCount
 type storeQueue struct {
-	addr   [STQSize]uint64
-	data   [STQSize]uint64
-	flags  [STQSize]uint64
-	robIdx [STQSize]uint64 // owning ROB entry, for age comparison
+	addr   []uint64
+	data   []uint64
+	flags  []uint64
+	robIdx []uint64 // owning ROB entry, for age comparison
 
 	head  uint64
 	count uint64
 }
 
 func (q *storeQueue) register(s *StateSpace) {
-	for i := range q.addr {
-		s.Register("stq.addr", KindLatch, ClassData, &q.addr[i], 48)
-		s.Register("stq.data", KindLatch, ClassData, &q.data[i], 64)
-		s.Register("stq.flags", KindLatch, ClassControl, &q.flags[i], stqFlgBits)
-		s.Register("stq.robIdx", KindLatch, ClassControl, &q.robIdx[i], 6)
+	addr := s.BindArray(&q.addr, STQSize)
+	data := s.BindArray(&q.data, STQSize)
+	flags := s.BindArray(&q.flags, STQSize)
+	robIdx := s.BindArray(&q.robIdx, STQSize)
+	for i := 0; i < STQSize; i++ {
+		s.RegisterPacked("stq.addr", KindLatch, ClassData, addr+i, 48)
+		s.RegisterPacked("stq.data", KindLatch, ClassData, data+i, 64)
+		s.RegisterPacked("stq.flags", KindLatch, ClassControl, flags+i, stqFlgBits)
+		s.RegisterPacked("stq.robIdx", KindLatch, ClassControl, robIdx+i, 6)
 	}
 	s.Register("stq.head", KindLatch, ClassControl, &q.head, 4)
 	s.Register("stq.count", KindLatch, ClassControl, &q.count, 5)
 }
 
-func (q *storeQueue) reset() { *q = storeQueue{} }
+func (q *storeQueue) reset() {
+	clear(q.addr)
+	clear(q.data)
+	clear(q.flags)
+	clear(q.robIdx)
+	q.head, q.count = 0, 0
+}
 
 func (q *storeQueue) full() bool { return q.count >= STQSize }
 
@@ -264,27 +317,37 @@ const (
 //
 //restorelint:writers dispatchOne doCommit executeLoad squashToCount
 type loadQueue struct {
-	addr   [LDQSize]uint64
-	robIdx [LDQSize]uint64
-	fwdRob [LDQSize]uint64 // forwarding store's ROB entry, when ldqFwd
-	flags  [LDQSize]uint64
+	addr   []uint64
+	robIdx []uint64
+	fwdRob []uint64 // forwarding store's ROB entry, when ldqFwd
+	flags  []uint64
 
 	head  uint64
 	count uint64
 }
 
 func (q *loadQueue) register(s *StateSpace) {
-	for i := range q.addr {
-		s.Register("ldq.addr", KindLatch, ClassData, &q.addr[i], 48)
-		s.Register("ldq.robIdx", KindLatch, ClassControl, &q.robIdx[i], 6)
-		s.Register("ldq.fwdRob", KindLatch, ClassControl, &q.fwdRob[i], 6)
-		s.Register("ldq.flags", KindLatch, ClassControl, &q.flags[i], ldqFlgBits)
+	addr := s.BindArray(&q.addr, LDQSize)
+	robIdx := s.BindArray(&q.robIdx, LDQSize)
+	fwdRob := s.BindArray(&q.fwdRob, LDQSize)
+	flags := s.BindArray(&q.flags, LDQSize)
+	for i := 0; i < LDQSize; i++ {
+		s.RegisterPacked("ldq.addr", KindLatch, ClassData, addr+i, 48)
+		s.RegisterPacked("ldq.robIdx", KindLatch, ClassControl, robIdx+i, 6)
+		s.RegisterPacked("ldq.fwdRob", KindLatch, ClassControl, fwdRob+i, 6)
+		s.RegisterPacked("ldq.flags", KindLatch, ClassControl, flags+i, ldqFlgBits)
 	}
 	s.Register("ldq.head", KindLatch, ClassControl, &q.head, 4)
 	s.Register("ldq.count", KindLatch, ClassControl, &q.count, 5)
 }
 
-func (q *loadQueue) reset() { *q = loadQueue{} }
+func (q *loadQueue) reset() {
+	clear(q.addr)
+	clear(q.robIdx)
+	clear(q.fwdRob)
+	clear(q.flags)
+	q.head, q.count = 0, 0
+}
 
 func (q *loadQueue) full() bool { return q.count >= LDQSize }
 
@@ -303,16 +366,18 @@ func (q *loadQueue) alloc() (uint64, bool) {
 // regFile is the merged physical register file (Figure 3's "Register File"
 // SRAM) plus its ready scoreboard.
 type regFile struct {
-	val   [PhysRegs]uint64
-	ready [PhysRegs / 64]uint64
+	val   []uint64
+	ready []uint64
 }
 
 func (f *regFile) register(s *StateSpace) {
-	for i := range f.val {
-		s.Register("prf.val", KindSRAM, ClassData, &f.val[i], 64)
+	val := s.BindArray(&f.val, PhysRegs)
+	ready := s.BindArray(&f.ready, PhysRegs/64)
+	for i := 0; i < PhysRegs; i++ {
+		s.RegisterPacked("prf.val", KindSRAM, ClassData, val+i, 64)
 	}
-	for i := range f.ready {
-		s.Register("prf.ready", KindLatch, ClassControl, &f.ready[i], 64)
+	for i := 0; i < PhysRegs/64; i++ {
+		s.RegisterPacked("prf.ready", KindLatch, ClassControl, ready+i, 64)
 	}
 }
 
@@ -342,12 +407,13 @@ func (f *regFile) flipBit(tag uint64, bit uint) {
 // aliasTable maps architectural to physical registers (the Spec/Arch RATs
 // of Figure 3, SRAM arrays).
 type aliasTable struct {
-	m [32]uint64
+	m []uint64
 }
 
 func (t *aliasTable) register(s *StateSpace, name string) {
-	for i := range t.m {
-		s.Register(name, KindSRAM, ClassControl, &t.m[i], 7)
+	m := s.BindArray(&t.m, 32)
+	for i := 0; i < 32; i++ {
+		s.RegisterPacked(name, KindSRAM, ClassControl, m+i, 7)
 	}
 }
 
@@ -360,16 +426,17 @@ func (t *aliasTable) set(r, phys uint64)  { t.m[r%32] = phys % PhysRegs }
 //
 //restorelint:writers squashToCount
 type freeList struct {
-	bits [PhysRegs / 64]uint64
+	bits []uint64
 }
 
 func (f *freeList) register(s *StateSpace) {
-	for i := range f.bits {
-		s.Register("freelist", KindSRAM, ClassControl, &f.bits[i], 64)
+	bits := s.BindArray(&f.bits, PhysRegs/64)
+	for i := 0; i < PhysRegs/64; i++ {
+		s.RegisterPacked("freelist", KindSRAM, ClassControl, bits+i, 64)
 	}
 }
 
-func (f *freeList) reset() { *f = freeList{} }
+func (f *freeList) reset() { clear(f.bits) }
 
 func (f *freeList) alloc() (uint64, bool) {
 	for w := range f.bits {
@@ -399,9 +466,9 @@ const execSlots = 16
 
 //restorelint:writers scheduleWriteback
 type execWindow struct {
-	val [execSlots]uint64
-	tag [execSlots]uint64 // physical destination; bit 7 set = no destination
-	rob [execSlots]uint64
+	val []uint64
+	tag []uint64 // physical destination; bit 7 set = no destination
+	rob []uint64
 
 	busy   [execSlots]bool   // not injectable: scheduling metadata
 	doneAt [execSlots]uint64 //restorelint:ignore stateregister — completion timing, scheduling metadata
@@ -410,14 +477,23 @@ type execWindow struct {
 const execNoDest = 1 << 7
 
 func (e *execWindow) register(s *StateSpace) {
-	for i := range e.val {
-		s.Register("exec.val", KindLatch, ClassData, &e.val[i], 64)
-		s.Register("exec.tag", KindLatch, ClassControl, &e.tag[i], 8)
-		s.Register("exec.rob", KindLatch, ClassControl, &e.rob[i], 6)
+	val := s.BindArray(&e.val, execSlots)
+	tag := s.BindArray(&e.tag, execSlots)
+	rob := s.BindArray(&e.rob, execSlots)
+	for i := 0; i < execSlots; i++ {
+		s.RegisterPacked("exec.val", KindLatch, ClassData, val+i, 64)
+		s.RegisterPacked("exec.tag", KindLatch, ClassControl, tag+i, 8)
+		s.RegisterPacked("exec.rob", KindLatch, ClassControl, rob+i, 6)
 	}
 }
 
-func (e *execWindow) reset() { *e = execWindow{} }
+func (e *execWindow) reset() {
+	clear(e.val)
+	clear(e.tag)
+	clear(e.rob)
+	e.busy = [execSlots]bool{}
+	e.doneAt = [execSlots]uint64{}
+}
 
 func (e *execWindow) alloc() (int, bool) {
 	for i := range e.busy {
@@ -429,18 +505,39 @@ func (e *execWindow) alloc() (int, bool) {
 }
 
 // ---------------------------------------------------------------------------
-// copyFrom: wholesale state copies for Pipeline.ResetFrom. Every structure
-// above is a pure value type (fixed-size arrays, no slices), so assignment
-// copies all of it. Routing the copies through owner methods keeps the
-// statemut write discipline intact: ResetFrom rewrites every registered
-// word, and these are the owners entitled to do that.
+// copyFrom: scalar/metadata state copies for Pipeline.ResetFrom. The array
+// contents of every structure live in the StateSpace's packed backing and
+// are re-imaged with one copy (StateSpace.copyPackedFrom); these methods
+// carry only what lives outside it — head/count pointers and the exec
+// window's scheduling metadata. Routing the copies through owner methods
+// keeps the statemut write discipline intact: ResetFrom rewrites every
+// registered word, and these are the owners entitled to do that.
 
-func (q *fetchQueue) copyFrom(src *fetchQueue)       { *q = *src }
-func (r *reorderBuffer) copyFrom(src *reorderBuffer) { *r = *src }
-func (sc *scheduler) copyFrom(src *scheduler)        { *sc = *src }
-func (q *storeQueue) copyFrom(src *storeQueue)       { *q = *src }
-func (q *loadQueue) copyFrom(src *loadQueue)         { *q = *src }
-func (f *regFile) copyFrom(src *regFile)             { *f = *src }
-func (t *aliasTable) copyFrom(src *aliasTable)       { *t = *src }
-func (f *freeList) copyFrom(src *freeList)           { *f = *src }
-func (e *execWindow) copyFrom(src *execWindow)       { *e = *src }
+func (q *fetchQueue) copyFrom(src *fetchQueue) {
+	q.head, q.count = src.head, src.count
+}
+
+func (r *reorderBuffer) copyFrom(src *reorderBuffer) {
+	r.head, r.count = src.head, src.count
+}
+
+func (sc *scheduler) copyFrom(src *scheduler) {}
+
+func (q *storeQueue) copyFrom(src *storeQueue) {
+	q.head, q.count = src.head, src.count
+}
+
+func (q *loadQueue) copyFrom(src *loadQueue) {
+	q.head, q.count = src.head, src.count
+}
+
+func (f *regFile) copyFrom(src *regFile) {}
+
+func (t *aliasTable) copyFrom(src *aliasTable) {}
+
+func (f *freeList) copyFrom(src *freeList) {}
+
+func (e *execWindow) copyFrom(src *execWindow) {
+	e.busy = src.busy
+	e.doneAt = src.doneAt
+}

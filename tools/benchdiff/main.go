@@ -12,9 +12,20 @@
 //
 //   - any benchmark's ns/op regresses by more than -time-tolerance
 //     (default 25%), or
+//   - a campaign benchmark — one reporting a trials/s custom metric —
+//     loses more than -trials-tolerance of its baseline throughput
+//     (default 40%: campaign iterations are long, so short CI runs see
+//     few of them and more run-to-run variance than micro-benchmarks;
+//     the gate still catches the multi-x regressions that matter, like
+//     losing the decode cache or the early-exit path), or
 //   - a hot-path benchmark — one exercising a //restorelint:hotpath
 //     function — reports more allocs/op than the baseline at all. Hot-path
 //     allocation counts are machine-independent, so that gate is exact.
+//
+// B/op drift beyond -time-tolerance is reported on every benchmark (a
+// `drift` line) but is not a failure on its own: allocation volume is a
+// leading indicator, and the exact hot-path allocs/op gate plus the
+// throughput gates are the enforcement points.
 //
 // Benchmarks present in only one of the two sets are reported but do not
 // fail the comparison (CI smoke runs may use a -bench filter); pass
@@ -38,9 +49,13 @@ import (
 // allocation at all is a regression the static analyzer should also have
 // caught.
 var hotpathBenches = map[string]bool{
-	"BenchmarkPipelineCycle":     true, // pipeline.Step / Cycle
-	"BenchmarkArchSimStep":       true, // arch.Sim.Step
-	"BenchmarkPipelineResetFrom": true, // Pipeline.ResetFrom + mem.CopyFrom
+	"BenchmarkPipelineCycle":            true, // pipeline.Step / Cycle
+	"BenchmarkPipelineCycleDecodeCache": true, // same, campaign configuration
+	"BenchmarkArchSimStep":              true, // arch.Sim.Step
+	"BenchmarkArchSimStepDecodeCache":   true, // same, campaign configuration
+	"BenchmarkPipelineResetFrom":        true, // Pipeline.ResetFrom + mem.CopyFrom
+	"BenchmarkStateHash/packed":         true, // StateSpace.Hash extent walk
+	"BenchmarkStateHash/legacy":         true, // StateSpace.Hash per-element walk
 }
 
 // Result is one benchmark's measurements.
@@ -66,6 +81,7 @@ func main() {
 		write      = flag.String("write", "", "write a new baseline to this file")
 		baseline   = flag.String("baseline", "", "compare stdin against this baseline file")
 		tolerance  = flag.Float64("time-tolerance", 0.25, "allowed fractional ns/op regression")
+		trialsTol  = flag.Float64("trials-tolerance", 0.40, "allowed fractional campaign trials/s drop")
 		requireAll = flag.Bool("require-all", false, "fail if a baseline benchmark is missing from stdin")
 	)
 	flag.Parse()
@@ -99,7 +115,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	bad := compare(os.Stdout, base, fresh, *tolerance, *requireAll)
+	bad := compare(os.Stdout, base, fresh, *tolerance, *trialsTol, *requireAll)
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", bad, *baseline)
 		os.Exit(1)
@@ -171,7 +187,7 @@ func readBaseline(path string) (Baseline, error) {
 }
 
 // compare prints one line per benchmark and returns the regression count.
-func compare(w *os.File, base Baseline, fresh map[string]Result, tolerance float64, requireAll bool) int {
+func compare(w *os.File, base Baseline, fresh map[string]Result, tolerance, trialsTol float64, requireAll bool) int {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -195,17 +211,38 @@ func compare(w *os.File, base Baseline, fresh map[string]Result, tolerance float
 		if old.NsPerOp > 0 {
 			delta = cur.NsPerOp/old.NsPerOp - 1
 		}
+		oldTrials, curTrials := old.Metrics["trials/s"], cur.Metrics["trials/s"]
+		trialsDrop := 0.0
+		if oldTrials > 0 {
+			trialsDrop = 1 - curTrials/oldTrials
+		}
 		switch {
 		case old.Hotpath && cur.AllocsPerOp > old.AllocsPerOp:
 			fmt.Fprintf(w, "FAIL %-55s allocs/op %.0f -> %.0f (hot path must stay allocation-free)\n",
 				name, old.AllocsPerOp, cur.AllocsPerOp)
 			bad++
-		case delta > tolerance:
+		case trialsDrop > trialsTol:
+			fmt.Fprintf(w, "FAIL %-55s trials/s %+.1f%% (%.1f -> %.1f, tolerance %.0f%%)\n",
+				name, -trialsDrop*100, oldTrials, curTrials, trialsTol*100)
+			bad++
+		// Campaign benchmarks (oldTrials > 0) gate on trials/s alone:
+		// their ns/op is the same measurement inverted, and double-gating
+		// it at the tighter micro-benchmark tolerance would defeat the
+		// wider campaign one.
+		case oldTrials == 0 && delta > tolerance:
 			fmt.Fprintf(w, "FAIL %-55s ns/op %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
 				name, delta*100, old.NsPerOp, cur.NsPerOp, tolerance*100)
 			bad++
 		default:
-			fmt.Fprintf(w, "ok   %-55s ns/op %+.1f%%\n", name, delta*100)
+			if oldTrials > 0 {
+				fmt.Fprintf(w, "ok   %-55s trials/s %+.1f%%\n", name, -trialsDrop*100)
+			} else {
+				fmt.Fprintf(w, "ok   %-55s ns/op %+.1f%%\n", name, delta*100)
+			}
+			if drift := bytesDrift(old.BytesPerOp, cur.BytesPerOp); drift > tolerance {
+				fmt.Fprintf(w, "drift %-54s B/op %+.1f%% (%.0f -> %.0f, not gated)\n",
+					name, drift*100, old.BytesPerOp, cur.BytesPerOp)
+			}
 		}
 	}
 	for name := range fresh {
@@ -214,4 +251,13 @@ func compare(w *os.File, base Baseline, fresh map[string]Result, tolerance float
 		}
 	}
 	return bad
+}
+
+// bytesDrift returns the fractional B/op growth, treating a zero or shrunk
+// baseline as no drift (hot-path benches pin 0 B/op through the allocs gate).
+func bytesDrift(old, cur float64) float64 {
+	if old <= 0 || cur <= old {
+		return 0
+	}
+	return cur/old - 1
 }

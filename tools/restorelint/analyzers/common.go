@@ -89,16 +89,26 @@ func fieldVarOf(info *types.Info, expr ast.Expr) *types.Var {
 }
 
 // stateIndex is the shared registration model: every struct field whose
-// address is passed to a method named Register, mapped back to the named
+// address is passed to a method named Register or BindArray (the packed
+// two-phase registration: BindArray aliases a slice field onto the packed
+// backing, RegisterPacked declares its words), mapped back to the named
 // struct type that declares it.
 type stateIndex struct {
-	registered map[*types.Var]bool   // fields passed by address to Register
+	registered map[*types.Var]bool   // fields passed by address to Register/BindArray
 	fieldOwner map[*types.Var]string // struct field -> declaring type name
 	hasState   map[string]bool       // type name -> has >=1 registered field
 }
 
-// buildStateIndex scans the package for Register(&x.field, ...) calls and
-// for the struct declarations that own the fields.
+// registrationCalls are the method names that mark a field as registered
+// state when its address is an argument.
+var registrationCalls = map[string]bool{
+	"Register":  true,
+	"BindArray": true,
+}
+
+// buildStateIndex scans the package for Register(&x.field, ...) and
+// BindArray(&x.field, ...) calls and for the struct declarations that own
+// the fields.
 func buildStateIndex(pkg *lint.Package) *stateIndex {
 	idx := &stateIndex{
 		registered: make(map[*types.Var]bool),
@@ -128,7 +138,7 @@ func buildStateIndex(pkg *lint.Package) *stateIndex {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Register" {
+			if !ok || !registrationCalls[sel.Sel.Name] {
 				return true
 			}
 			for _, arg := range call.Args {

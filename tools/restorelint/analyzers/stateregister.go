@@ -7,8 +7,9 @@ import (
 	"repro/tools/restorelint/lint"
 )
 
-// StateRegister is the migrated statecheck gate: every uint64 (or [N]uint64)
-// field of a stateful struct must be registered with the StateSpace, or the
+// StateRegister is the migrated statecheck gate: every uint64, [N]uint64 or
+// []uint64 field of a stateful struct must be registered with the StateSpace
+// (scalars via Register, slices via BindArray+RegisterPacked), or the
 // fault-injection campaign silently skips it and the measured AVF is wrong.
 //
 // A struct is stateful when it participates in registration at all — it has
@@ -71,10 +72,11 @@ func checkStructFields(pass *lint.Pass, idx *stateIndex, typeName string, st *as
 	}
 }
 
-// isWordField reports whether the field type is uint64 or [N]uint64 — the
-// shapes StateSpace.Register accepts a backing word from.
+// isWordField reports whether the field type is uint64, [N]uint64 or
+// []uint64 — the shapes StateSpace.Register (scalar words) and
+// StateSpace.BindArray (packed slices) accept backing words from.
 func isWordField(info *types.Info, expr ast.Expr) bool {
-	if arr, ok := expr.(*ast.ArrayType); ok && arr.Len != nil {
+	if arr, ok := expr.(*ast.ArrayType); ok {
 		expr = arr.Elt
 	}
 	tv, ok := info.Types[expr]

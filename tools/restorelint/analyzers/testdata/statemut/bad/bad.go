@@ -7,6 +7,8 @@ type StateSpace struct{}
 
 func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
 
+func (s *StateSpace) BindArray(dst *[]uint64, n int) int { return 0 }
+
 //restorelint:writers fillQueue
 type queue struct {
 	slots [4]uint64
@@ -46,4 +48,22 @@ func wipe(m *machine) {
 
 func leak(m *machine) *uint64 {
 	return &m.q.head // want "address of registered state field queue.head escapes outside its owners"
+}
+
+// pq is registered through the packed two-phase API; its slice field carries
+// the same write discipline as scalar registered words.
+type pq struct {
+	pc []uint64
+}
+
+func (p *pq) register(s *StateSpace) {
+	s.BindArray(&p.pc, 4)
+}
+
+type packedMachine struct {
+	p pq
+}
+
+func pokePacked(m *packedMachine, v uint64) {
+	m.p.pc[0] = v // want "write to registered state pq.pc outside its owners"
 }

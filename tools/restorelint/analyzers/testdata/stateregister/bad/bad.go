@@ -5,6 +5,8 @@ type StateSpace struct{}
 
 func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
 
+func (s *StateSpace) BindArray(dst *[]uint64, n int) int { return 0 }
+
 // rob has a register method, so every uint64 word is under obligation.
 type rob struct {
 	pc    [4]uint64
@@ -29,4 +31,15 @@ type core struct {
 
 func (c *core) setup(s *StateSpace) {
 	s.Register("fetchPC", 0, 0, &c.fetchPC, 48)
+}
+
+// packed binds one slice but forgets the other: []uint64 fields carry the
+// same obligation as scalar words once the struct is stateful.
+type packed struct {
+	pc   []uint64
+	word []uint64 // want "field packed.word is \[\]uint64 but is never registered"
+}
+
+func (p *packed) register(s *StateSpace) {
+	s.BindArray(&p.pc, 4)
 }

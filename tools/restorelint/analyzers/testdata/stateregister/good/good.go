@@ -5,6 +5,10 @@ type StateSpace struct{}
 
 func (s *StateSpace) Register(name string, kind, class int, word *uint64, bits int) {}
 
+func (s *StateSpace) BindArray(dst *[]uint64, n int) int { return 0 }
+
+func (s *StateSpace) RegisterPacked(name string, kind, class, off, bits int) {}
+
 type queue struct {
 	slots [2]uint64
 	head  uint64
@@ -22,8 +26,28 @@ func (q *queue) register(s *StateSpace) {
 	s.Register("q.head", 0, 0, &q.head, 1)
 }
 
+// packedQueue uses the two-phase packed registration: BindArray aliases the
+// slice onto the packed backing, RegisterPacked declares its words. The slice
+// field must satisfy the obligation through BindArray alone.
+type packedQueue struct {
+	pc   []uint64
+	word []uint64
+	head uint64
+}
+
+func (q *packedQueue) register(s *StateSpace) {
+	pc := s.BindArray(&q.pc, 4)
+	word := s.BindArray(&q.word, 4)
+	for i := 0; i < 4; i++ {
+		s.RegisterPacked("pq.pc", 0, 0, pc+i, 48)
+		s.RegisterPacked("pq.word", 0, 0, word+i, 32)
+	}
+	s.Register("pq.head", 0, 0, &q.head, 2)
+}
+
 // plain has no register method and no registered fields: no obligation.
 type plain struct {
 	a uint64
 	b [8]uint64
+	c []uint64
 }
