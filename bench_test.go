@@ -370,6 +370,46 @@ func BenchmarkPipelineResetFrom(b *testing.B) {
 	}
 }
 
+// BenchmarkGoldenImageRoundTrip measures the warm-start IO path: encode the
+// warmed pipeline into a golden image and restore it into a second pipeline
+// (write + load per iteration, serial workers). The stored-bytes metric pins
+// the image footprint the compression buys.
+func BenchmarkGoldenImageRoundTrip(b *testing.B) {
+	prog := workload.MustGenerate(workload.Gzip, workload.Config{Seed: 1})
+	m, err := prog.NewMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pipeline.New(pipeline.DefaultConfig(), m, prog.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.RunCycles(10_000)
+	m2, err := prog.NewMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := pipeline.New(pipeline.DefaultConfig(), m2, prog.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/bench.golden"
+	meta := []byte("bench-golden")
+	var stored int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := p.WriteGoldenImage(path, meta, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stored = st.StoredBytes
+		if err := p2.LoadGoldenImage(path, meta, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stored), "stored-B")
+}
+
 // BenchmarkRestoreOverhead measures the fault-free ReStore processor
 // against the bare pipeline — the simulated counterpart of Figure 7.
 func BenchmarkRestoreOverhead(b *testing.B) {

@@ -48,6 +48,12 @@
 // and rerunning the experiment with -out <merged-dir> prints the full
 // results without re-running any trial. See EXPERIMENTS.md for the on-disk
 // format and the crash-consistency guarantees.
+//
+// -golden-image <dir> saves each campaign's warmed-up simulator state into
+// <dir> on first run; reruns and shard workers restore the image instead of
+// re-simulating the warm-up, with byte-identical results.
+// -compress-journal writes fresh campaign journals with compressed segments.
+// `restore-sim ckpt inspect <image>` prints a golden image's frame directory.
 package main
 
 import (
@@ -67,6 +73,7 @@ import (
 	"time"
 
 	"repro/internal/campaignio"
+	"repro/internal/ckptio"
 	"repro/internal/experiments"
 	"repro/internal/fit"
 	"repro/internal/harden"
@@ -121,17 +128,26 @@ func run(args []string) error {
 		out       = fs.String("out", "", "campaign directory: journal completed trials under this directory and resume from it on rerun; results are identical either way")
 		shard     = fs.String("shard", "", "run shard k/n of every campaign (1-based, e.g. 1/4); requires -out, combine shard directories with the merge subcommand")
 		stopAfter = fs.Int("stop-after", 0, "interrupt the run after this many trial completions (deterministic stand-in for ctrl-C; mainly for tests and CI)")
+		golden    = fs.String("golden-image", "", "golden-image directory: the first run of each campaign saves its warmed-up state under this directory, reruns and shards restore it instead of re-simulating the warm-up; results are identical either way")
+		compress  = fs.Bool("compress-journal", false, "write fresh campaign journals with compressed segments (needs -out; an existing journal keeps the framing it was created with)")
 		budget    = fs.Uint64("budget", 0, "check-bit budget for the protect subcommand (0 = the hand-picked placement's overhead)")
 		budgets   = fs.String("budgets", "", "comma-separated check-bit budgets for budget-sweep (default 0,416,832,1664,3328,6656)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n")
-		fmt.Fprintf(fs.Output(), "       restore-sim merge -out <merged-dir> <shard-dir>...\n\n")
+		fmt.Fprintf(fs.Output(), "       restore-sim merge -out <merged-dir> <shard-dir>...\n")
+		fmt.Fprintf(fs.Output(), "       restore-sim ckpt inspect <image>\n\n")
 		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability analyze protect protect-compare budget-sweep demo all\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.Arg(0) == "ckpt" {
+		if fs.NArg() != 3 || fs.Arg(1) != "inspect" {
+			return fmt.Errorf("usage: restore-sim ckpt inspect <image>")
+		}
+		return inspectImage(fs.Arg(2))
 	}
 	if fs.Arg(0) == "merge" {
 		if *out == "" {
@@ -164,13 +180,15 @@ func run(args []string) error {
 	}
 	c := &cli{
 		opts: experiments.Options{
-			Seed:         *seed,
-			Scale:        *scale,
-			TrialFactor:  *trials,
-			Workers:      *workers,
-			CampaignRoot: *out,
-			ShardIndex:   shardIndex,
-			ShardCount:   shardCount,
+			Seed:            *seed,
+			Scale:           *scale,
+			TrialFactor:     *trials,
+			Workers:         *workers,
+			CampaignRoot:    *out,
+			ShardIndex:      shardIndex,
+			ShardCount:      shardCount,
+			GoldenImageRoot: *golden,
+			CompressJournal: *compress,
 		},
 		csv:      *csv,
 		interval: *interval,
@@ -332,6 +350,61 @@ func mergeRoots(outRoot string, roots []string) error {
 	}
 	fmt.Printf("rerun any merged experiment with -out %s to print its full results\n", outRoot)
 	return nil
+}
+
+// inspectImage prints the frame directory of a ckptio container (golden
+// images or any other RSTCKPT1 file): per-frame style, buffer count and
+// plain/stored sizes, plus the identification string when frame 0 carries
+// one. Only frame 0 is ever decoded, so inspection of a multi-gigabyte image
+// stays cheap.
+func inspectImage(path string) error {
+	f, err := ckptio.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("%s: %d frames\n\n", path, f.Frames())
+	fmt.Printf("%5s  %-5s %8s %12s %12s %7s\n", "frame", "style", "buffers", "plain", "stored", "ratio")
+	var plain, stored int64
+	for i := 0; i < f.Frames(); i++ {
+		style := "raw"
+		if f.FrameStyle(i) == ckptio.StyleFlate {
+			style = "flate"
+		}
+		p, s := f.FramePlainLen(i), f.FrameStoredLen(i)
+		plain += int64(p)
+		stored += int64(s)
+		ratio := 1.0
+		if p > 0 {
+			ratio = float64(s) / float64(p)
+		}
+		fmt.Printf("%5d  %-5s %8d %12d %12d %7.2f\n", i, style, f.FrameBuffers(i), p, s, ratio)
+	}
+	ratio := 1.0
+	if plain > 0 {
+		ratio = float64(stored) / float64(plain)
+	}
+	fmt.Printf("\ntotal: %d plain bytes, %d stored (ratio %.2f)\n", plain, stored, ratio)
+	if f.Frames() > 0 && f.FrameBuffers(0) == 1 {
+		if bufs, err := f.ReadFrame(0); err == nil && printableMeta(bufs[0]) {
+			fmt.Printf("meta: %s\n", bufs[0])
+		}
+	}
+	return nil
+}
+
+// printableMeta reports whether a frame-0 buffer looks like an
+// identification string worth printing verbatim.
+func printableMeta(b []byte) bool {
+	if len(b) == 0 || len(b) > 1024 {
+		return false
+	}
+	for _, c := range b {
+		if c < 0x20 || c > 0x7e {
+			return false
+		}
+	}
+	return true
 }
 
 // campaignIDs lists the campaign directories (subdirectories with a

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/campaignio"
 )
 
 // The CLI's run() is exercised end-to-end with tiny campaigns; output goes
@@ -227,5 +229,100 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-budgets", "12,x", "-bench", "gzip", "budget-sweep"}); err == nil ||
 		!strings.Contains(err.Error(), "budgets") {
 		t.Errorf("malformed -budgets: %v", err)
+	}
+}
+
+// TestRunGoldenImageAndInspect runs a tiny campaign with -golden-image, reruns
+// it from the saved image (outputs must match byte-for-byte), and inspects the
+// image with the ckpt subcommand.
+func TestRunGoldenImageAndInspect(t *testing.T) {
+	oneShot, err := captureStdout(t, func() error { return run(tinyArgs("fig2")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := t.TempDir()
+	warm, err := captureStdout(t, func() error {
+		return run(append([]string{"-golden-image", root}, tinyArgs("fig2")...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	images, err := filepath.Glob(filepath.Join(root, "*.golden"))
+	if err != nil || len(images) != 1 {
+		t.Fatalf("golden images = %v (err %v), want exactly 1", images, err)
+	}
+	restored, err := captureStdout(t, func() error {
+		return run(append([]string{"-golden-image", root}, tinyArgs("fig2")...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != oneShot || restored != oneShot {
+		t.Errorf("golden-image runs diverged from plain run:\n--- plain ---\n%s--- warm ---\n%s--- restored ---\n%s",
+			oneShot, warm, restored)
+	}
+
+	out, err := captureStdout(t, func() error {
+		return run([]string{"ckpt", "inspect", images[0]})
+	})
+	if err != nil {
+		t.Fatalf("ckpt inspect: %v", err)
+	}
+	for _, want := range []string{"frames", "flate", "meta: vm|bench=gzip"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Usage and open errors must surface.
+	if err := run([]string{"ckpt", "inspect"}); err == nil {
+		t.Error("ckpt inspect without a path accepted")
+	}
+	if err := run([]string{"ckpt", "frobnicate", images[0]}); err == nil {
+		t.Error("unknown ckpt verb accepted")
+	}
+	if err := run([]string{"ckpt", "inspect", filepath.Join(root, "absent.golden")}); err == nil {
+		t.Error("inspect of a missing file succeeded")
+	}
+}
+
+// TestRunCompressedJournalResume interrupts a durable -compress-journal run,
+// resumes it, and requires the same output as a one-shot run plus a v2
+// journal on disk.
+func TestRunCompressedJournalResume(t *testing.T) {
+	oneShot, err := captureStdout(t, func() error { return run(tinyArgs("fig2")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	durable := append([]string{"-out", dir, "-compress-journal", "-stop-after", "5"}, tinyArgs("fig2")...)
+	if _, err := captureStdout(t, func() error { return run(durable) }); err != nil {
+		t.Fatalf("interrupted run must exit cleanly, got %v", err)
+	}
+	ids, err := campaignIDs(dir)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("campaign dirs = %v (err %v)", ids, err)
+	}
+	hdr := make([]byte, 8)
+	jf, err := os.Open(filepath.Join(dir, ids[0], campaignio.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(jf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	if string(hdr) != "RSTJRNL2" {
+		t.Fatalf("journal magic = %q, want RSTJRNL2", hdr)
+	}
+	resumed, err := captureStdout(t, func() error {
+		return run(append([]string{"-out", dir, "-compress-journal"}, tinyArgs("fig2")...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != oneShot {
+		t.Errorf("compressed resumed output differs from one-shot:\n--- one-shot ---\n%s--- resumed ---\n%s", oneShot, resumed)
 	}
 }

@@ -1,0 +1,51 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// entryRec is the serialised size of one cache entry: u8 valid | u64 tag |
+// u32 lru.
+const entryRec = 1 + 8 + 4
+
+// SaveState serialises the cache's mutable state — entries plus the
+// access/miss counters — for a golden checkpoint. Geometry (sets, ways,
+// latencies) comes from the Config and is not stored: a loaded image must
+// be applied to an identically configured cache.
+func (c *Cache) SaveState() []byte {
+	out := make([]byte, 16+len(c.entries)*entryRec)
+	binary.LittleEndian.PutUint64(out[0:8], c.accesses)
+	binary.LittleEndian.PutUint64(out[8:16], c.misses)
+	off := 16
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid {
+			out[off] = 1
+		}
+		binary.LittleEndian.PutUint64(out[off+1:], e.tag)
+		binary.LittleEndian.PutUint32(out[off+9:], e.lru)
+		off += entryRec
+	}
+	return out
+}
+
+// LoadState restores state serialised by SaveState into an identically
+// configured cache.
+func (c *Cache) LoadState(b []byte) error {
+	want := 16 + len(c.entries)*entryRec
+	if len(b) != want {
+		return fmt.Errorf("cache: state blob %d bytes, want %d (geometry mismatch?)", len(b), want)
+	}
+	c.accesses = binary.LittleEndian.Uint64(b[0:8])
+	c.misses = binary.LittleEndian.Uint64(b[8:16])
+	off := 16
+	for i := range c.entries {
+		e := &c.entries[i]
+		e.valid = b[off] != 0
+		e.tag = binary.LittleEndian.Uint64(b[off+1:])
+		e.lru = binary.LittleEndian.Uint32(b[off+9:])
+		off += entryRec
+	}
+	return nil
+}

@@ -245,6 +245,106 @@ func TestClearBoundsJournalUntilNextCreate(t *testing.T) {
 	}
 }
 
+// TestCostingPricesSnapshots: with costing enabled every Create prices the
+// register file plus the interval's journal delta through the ckptio
+// encoding; repetitive store data compresses below its raw size. Costing is
+// observational — restored state is identical with it on or off.
+func TestCostingPricesSnapshots(t *testing.T) {
+	m := newMem(t)
+	s := NewStore(m, 2)
+	if got := s.Cost(); got != (CostStats{}) {
+		t.Fatalf("cost nonzero before enabling: %+v", got)
+	}
+	s.EnableCosting()
+	var regs [32]uint64
+	s.Create(regs, 0x100, 0)
+	// A compressible interval: many zero-valued overwrites journalled.
+	for i := uint64(0); i < 512; i++ {
+		if err := m.WriteQ(i*8, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Create(regs, 0x200, 512)
+
+	cost := s.Cost()
+	if cost.Checkpoints != 2 {
+		t.Fatalf("priced %d checkpoints, want 2", cost.Checkpoints)
+	}
+	// Second snapshot carries 512 journal records (17 bytes raw each).
+	if cost.RawBytes < 512*17 {
+		t.Fatalf("raw bytes %d too small for the journalled interval", cost.RawBytes)
+	}
+	if cost.StoredBytes >= cost.RawBytes || cost.Ratio() >= 1 {
+		t.Fatalf("zero-heavy journal did not compress: %+v (ratio %.2f)", cost, cost.Ratio())
+	}
+	if bpc := cost.BytesPerCheckpoint(); bpc <= 0 {
+		t.Fatalf("BytesPerCheckpoint = %g", bpc)
+	}
+
+	// Rollback behaviour is untouched by costing.
+	if _, err := s.RestoreOldest(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadQ(0); v != 0 {
+		t.Errorf("[0] = %d after costed rollback, want 0", v)
+	}
+}
+
+// TestRestoreAfterClearStopsAtCreateBoundary pins where the rollback horizon
+// lands after a Clear: exactly at the next Create, never earlier. Writes made
+// while journalling was off are permanent; a full restore-oldest — even after
+// a capacity retirement has rebased marks against the reset journal — must
+// reproduce the state at the first post-Clear Create byte for byte.
+func TestRestoreAfterClearStopsAtCreateBoundary(t *testing.T) {
+	m := newMem(t)
+	s := NewStore(m, 2)
+	var regs [32]uint64
+	s.Create(regs, 0x100, 1)
+	if err := m.WriteQ(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	s.Clear()
+
+	// Unjournalled era: these writes must survive every later rollback.
+	if err := m.WriteQ(0, 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteQ(8, 33); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three checkpoints through a capacity-2 store: the first post-Clear
+	// checkpoint retires, exercising the mark rebase against a journal that
+	// restarted from empty.
+	s.Create(regs, 0x200, 2)
+	if err := m.WriteQ(0, 44); err != nil {
+		t.Fatal(err)
+	}
+	s.Create(regs, 0x300, 3)
+	if err := m.WriteQ(8, 55); err != nil {
+		t.Fatal(err)
+	}
+	s.Create(regs, 0x400, 4)
+	if err := m.WriteQ(16, 66); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := s.RestoreOldest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PC != 0x300 {
+		t.Fatalf("oldest live checkpoint PC %#x, want 0x300 (0x200 retired)", cp.PC)
+	}
+	// State at the 0x300 Create: [0]=44 (journalled era), [8]=33 and the
+	// unjournalled [0]=22 overwrite long since permanent, [16] untouched.
+	for _, want := range []struct{ addr, val uint64 }{{0, 44}, {8, 33}, {16, 0}} {
+		if v, _ := m.ReadQ(want.addr); v != want.val {
+			t.Errorf("[%d] = %d after restore, want %d", want.addr, v, want.val)
+		}
+	}
+}
+
 // TestRandomizedOpsMatchReferenceModel drives the journal-based store with a
 // random interleaving of Create/RestoreNewest/RestoreOldest/Clear and random
 // writes, comparing every restored state against a reference model that

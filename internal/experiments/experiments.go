@@ -62,6 +62,16 @@ type Options struct {
 	// `restore-sim merge` subcommand. Zero values mean unsharded.
 	ShardIndex int
 	ShardCount int
+	// GoldenImageRoot, if non-empty, gives every campaign a warmed-state
+	// golden image at GoldenImageRoot/<CampaignID>.golden (see
+	// internal/ckptio): the first run of a campaign writes the image at the
+	// warm-up boundary, later runs restore it instead of re-executing the
+	// warm-up. Results are byte-identical either way.
+	GoldenImageRoot string
+	// CompressJournal selects the compressed-segment journal framing for
+	// fresh campaign journals (no effect without CampaignRoot; an existing
+	// journal keeps the framing it was created with).
+	CompressJournal bool
 	// Interrupt, if non-nil, stops every campaign at the next trial
 	// boundary once the channel is closed. Durable campaigns drain and
 	// flush their journal first; the experiment then returns an error
@@ -76,6 +86,10 @@ func (o Options) vmCampaign(cfg inject.VMConfig) inject.VMConfig {
 	if o.CampaignRoot != "" {
 		cfg.ResumeFrom = filepath.Join(o.CampaignRoot, cfg.CampaignID())
 		cfg.ShardIndex, cfg.ShardCount = o.ShardIndex, o.ShardCount
+		cfg.CompressJournal = o.CompressJournal
+	}
+	if o.GoldenImageRoot != "" {
+		cfg.GoldenImage = filepath.Join(o.GoldenImageRoot, cfg.CampaignID()+".golden")
 	}
 	return cfg
 }
@@ -87,6 +101,10 @@ func (o Options) uarchCampaign(cfg inject.UArchConfig) inject.UArchConfig {
 	if o.CampaignRoot != "" {
 		cfg.ResumeFrom = filepath.Join(o.CampaignRoot, cfg.CampaignID())
 		cfg.ShardIndex, cfg.ShardCount = o.ShardIndex, o.ShardCount
+		cfg.CompressJournal = o.CompressJournal
+	}
+	if o.GoldenImageRoot != "" {
+		cfg.GoldenImage = filepath.Join(o.GoldenImageRoot, cfg.CampaignID()+".golden")
 	}
 	return cfg
 }

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"math"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -222,5 +224,80 @@ func TestAblateCheckpoints(t *testing.T) {
 	}
 	if len(AblationBenchmarks()) == 0 {
 		t.Error("no ablation benchmarks")
+	}
+}
+
+// TestDurabilityOptionThreading pins the Options→campaign-config plumbing:
+// golden-image paths, journal compression and shard assignment must reach
+// both campaign kinds, and golden images must not require a CampaignRoot.
+func TestDurabilityOptionThreading(t *testing.T) {
+	o := Options{
+		CampaignRoot:    "root",
+		GoldenImageRoot: "golden",
+		CompressJournal: true,
+		ShardIndex:      1,
+		ShardCount:      3,
+	}
+	vm := o.vmCampaign(inject.VMConfig{Bench: workload.Gzip, Trials: 10, Window: 1000})
+	if vm.ResumeFrom != filepath.Join("root", vm.CampaignID()) {
+		t.Errorf("vm ResumeFrom = %q", vm.ResumeFrom)
+	}
+	if !vm.CompressJournal || vm.ShardIndex != 1 || vm.ShardCount != 3 {
+		t.Errorf("vm durability options not threaded: %+v", vm)
+	}
+	if vm.GoldenImage != filepath.Join("golden", vm.CampaignID()+".golden") {
+		t.Errorf("vm GoldenImage = %q", vm.GoldenImage)
+	}
+	ua := o.uarchCampaign(inject.UArchConfig{Bench: workload.Gzip, Points: 2, TrialsPerPoint: 3})
+	if ua.ResumeFrom != filepath.Join("root", ua.CampaignID()) {
+		t.Errorf("uarch ResumeFrom = %q", ua.ResumeFrom)
+	}
+	if !ua.CompressJournal || ua.ShardIndex != 1 || ua.ShardCount != 3 {
+		t.Errorf("uarch durability options not threaded: %+v", ua)
+	}
+	if ua.GoldenImage != filepath.Join("golden", ua.CampaignID()+".golden") {
+		t.Errorf("uarch GoldenImage = %q", ua.GoldenImage)
+	}
+
+	// Golden images stand alone: no CampaignRoot needed.
+	solo := Options{GoldenImageRoot: "g"}.vmCampaign(inject.VMConfig{Bench: workload.MCF})
+	if solo.GoldenImage == "" || solo.ResumeFrom != "" {
+		t.Errorf("golden-only threading wrong: %+v", solo)
+	}
+	// CompressJournal without a CampaignRoot is inert — there is no journal.
+	if noRoot := (Options{CompressJournal: true}).vmCampaign(inject.VMConfig{}); noRoot.CompressJournal {
+		t.Error("CompressJournal leaked without CampaignRoot")
+	}
+}
+
+// TestFig2GoldenImageRoot runs the same experiment three times — plain, with
+// a fresh GoldenImageRoot (writes the image), and again over the populated
+// root (restores it) — and requires byte-identical campaign results plus one
+// .golden file per benchmark.
+func TestFig2GoldenImageRoot(t *testing.T) {
+	opts := tinyOpts()
+	opts.Benchmarks = []workload.Benchmark{workload.Gzip}
+	plain, err := Fig2(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.GoldenImageRoot = t.TempDir()
+	warm, err := Fig2(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	images, err := filepath.Glob(filepath.Join(opts.GoldenImageRoot, "*.golden"))
+	if err != nil || len(images) != 1 {
+		t.Fatalf("golden images = %v (err %v), want exactly 1", images, err)
+	}
+	restored, err := Fig2(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.AllTrials, warm.AllTrials) {
+		t.Error("warm-save run diverged from plain run")
+	}
+	if !reflect.DeepEqual(plain.AllTrials, restored.AllTrials) {
+		t.Error("golden-restored run diverged from plain run")
 	}
 }

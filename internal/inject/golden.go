@@ -1,0 +1,210 @@
+package inject
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/ckptio"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// Golden-image support for both campaign kinds. A golden image captures the
+// simulator state at the warm-up boundary so repeat runs — and sharded
+// workers — skip the warm-up simulation entirely. Loading an image is
+// provably inert: the restored state is bit-identical to the warmed-up one,
+// so campaign results are byte-identical either way (the equivalence tests
+// run all seven benchmarks through both paths).
+//
+// The microarchitectural image is pipeline.WriteGoldenImage's frame layout.
+// The architectural (VM) image uses the same ckptio container with:
+//
+//	frame 0    meta (raw): the goldenKey identification string
+//	frame 1    cpu (raw): 32 regs | pc | instret | halted | excepted | excKind
+//	frames 2.. the memory page image in vmMemChunk-byte slices (flate)
+
+// vmMemChunk is the memory-image slice carried per VM golden frame.
+const vmMemChunk = 1 << 18
+
+// goldenKey identifies the warm-up a uarch golden image captures: exactly
+// the inputs that determine the warmed state, nothing more, so one image
+// serves every campaign whose warm-up matches (different Points, trial
+// counts or shard assignments included).
+func (c *UArchConfig) goldenKey(pcfg pipeline.Config) string {
+	return fmt.Sprintf("uarch|bench=%s|seed=%d|scale=%g|warmup=%d|pipe=%+v",
+		c.Bench, c.Seed, c.Scale, c.WarmupCycles, pcfg)
+}
+
+// goldenKey identifies the warm-up boundary a VM golden image captures.
+func (c *VMConfig) goldenKey() string {
+	return fmt.Sprintf("vm|bench=%s|seed=%d|scale=%g|warmup=%d",
+		c.Bench, c.Seed, c.Scale, c.Warmup)
+}
+
+// goldenWorkers bounds the ckptio frame fan-out by the campaign's worker
+// budget. The bytes are identical at any count.
+func goldenWorkers(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// recordGoldenSaved publishes save-side telemetry: image count, frame count
+// and the plain/stored byte totals (their ratio is the compression factor).
+func recordGoldenSaved(sink obs.Sink, ns string, st ckptio.Stats) {
+	sink.Counter(ns + "_golden_image_saved_total").Inc()
+	sink.Counter(ns + "_golden_image_frames_total").Add(int64(st.Frames))
+	sink.Counter(ns + "_golden_image_plain_bytes_total").Add(st.PlainBytes)
+	sink.Counter(ns + "_golden_image_stored_bytes_total").Add(st.StoredBytes)
+}
+
+// loadUArchGolden restores master from cfg.GoldenImage if the file exists.
+// It returns whether the warm-up was skipped.
+func loadUArchGolden(cfg *UArchConfig, pcfg pipeline.Config, master *pipeline.Pipeline) (bool, error) {
+	if cfg.GoldenImage == "" {
+		return false, nil
+	}
+	if _, err := os.Stat(cfg.GoldenImage); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := master.LoadGoldenImage(cfg.GoldenImage, []byte(cfg.goldenKey(pcfg)), goldenWorkers(cfg.Workers)); err != nil {
+		return false, fmt.Errorf("inject: golden image %s: %w", cfg.GoldenImage, err)
+	}
+	cfg.Obs.Counter("campaign_uarch_golden_image_loaded_total").Inc()
+	return true, nil
+}
+
+// saveUArchGolden writes the warmed master to cfg.GoldenImage.
+func saveUArchGolden(cfg *UArchConfig, pcfg pipeline.Config, master *pipeline.Pipeline) error {
+	if cfg.GoldenImage == "" {
+		return nil
+	}
+	st, err := master.WriteGoldenImage(cfg.GoldenImage, []byte(cfg.goldenKey(pcfg)), goldenWorkers(cfg.Workers))
+	if err != nil {
+		return fmt.Errorf("inject: writing golden image %s: %w", cfg.GoldenImage, err)
+	}
+	recordGoldenSaved(cfg.Obs, "campaign_uarch", st)
+	return nil
+}
+
+// writeVMGolden saves the architectural simulator plus its memory image.
+func writeVMGolden(path string, key []byte, sim *arch.Sim, m *mem.Memory, workers int) (ckptio.Stats, error) {
+	w := ckptio.NewWriter()
+	w.Frame(ckptio.StyleRaw).Add(key)
+	cpu := make([]byte, 0, (len(sim.Regs)+2)*8+3)
+	var u [8]byte
+	for _, r := range sim.Regs {
+		binary.LittleEndian.PutUint64(u[:], r)
+		cpu = append(cpu, u[:]...)
+	}
+	binary.LittleEndian.PutUint64(u[:], sim.PC)
+	cpu = append(cpu, u[:]...)
+	binary.LittleEndian.PutUint64(u[:], sim.InstRet)
+	cpu = append(cpu, u[:]...)
+	cpu = append(cpu, b2u8(sim.Halted), b2u8(sim.Excepted), byte(sim.LastException))
+	w.Frame(ckptio.StyleRaw).Add(cpu)
+	img := m.SaveState()
+	for off := 0; off < len(img) || off == 0; off += vmMemChunk {
+		end := off + vmMemChunk
+		if end > len(img) {
+			end = len(img)
+		}
+		w.Frame(ckptio.StyleFlate).Add(img[off:end])
+		if end == len(img) {
+			break
+		}
+	}
+	if err := w.WriteFile(path, workers); err != nil {
+		return ckptio.Stats{}, err
+	}
+	return w.Stats(), nil
+}
+
+// loadVMGolden restores a writeVMGolden image into sim and m.
+func loadVMGolden(path string, key []byte, sim *arch.Sim, m *mem.Memory, workers int) error {
+	f, err := ckptio.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	frames, err := f.ReadAll(workers)
+	if err != nil {
+		return err
+	}
+	if len(frames) < 3 || len(frames[0]) != 1 || len(frames[1]) != 1 {
+		return fmt.Errorf("%w: not a vm golden image", pipeline.ErrGoldenMismatch)
+	}
+	if string(frames[0][0]) != string(key) {
+		return fmt.Errorf("%w: image meta %q, want %q", pipeline.ErrGoldenMismatch, frames[0][0], key)
+	}
+	cpu := frames[1][0]
+	want := (len(sim.Regs)+2)*8 + 3
+	if len(cpu) != want {
+		return fmt.Errorf("%w: cpu frame %d bytes, want %d", pipeline.ErrGoldenMismatch, len(cpu), want)
+	}
+	var img []byte
+	for _, fr := range frames[2:] {
+		for _, b := range fr {
+			img = append(img, b...)
+		}
+	}
+	if err := m.LoadState(img); err != nil {
+		return err
+	}
+	for i := range sim.Regs {
+		sim.Regs[i] = binary.LittleEndian.Uint64(cpu[i*8:])
+	}
+	n := len(sim.Regs) * 8
+	sim.PC = binary.LittleEndian.Uint64(cpu[n:])
+	sim.InstRet = binary.LittleEndian.Uint64(cpu[n+8:])
+	sim.Halted = cpu[n+16] != 0
+	sim.Excepted = cpu[n+17] != 0
+	sim.LastException = arch.ExceptionKind(cpu[n+18])
+	return nil
+}
+
+// loadVMGoldenIfPresent restores from cfg.GoldenImage when it exists,
+// reporting whether the warm-up walk was skipped.
+func loadVMGoldenIfPresent(cfg *VMConfig, sim *arch.Sim, m *mem.Memory) (bool, error) {
+	if cfg.GoldenImage == "" {
+		return false, nil
+	}
+	if _, err := os.Stat(cfg.GoldenImage); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := loadVMGolden(cfg.GoldenImage, []byte(cfg.goldenKey()), sim, m, goldenWorkers(cfg.Workers)); err != nil {
+		return false, fmt.Errorf("inject: golden image %s: %w", cfg.GoldenImage, err)
+	}
+	cfg.Obs.Counter("campaign_vm_golden_image_loaded_total").Inc()
+	return true, nil
+}
+
+// saveVMGolden writes the warm-up boundary state to cfg.GoldenImage.
+func saveVMGolden(cfg *VMConfig, sim *arch.Sim, m *mem.Memory) error {
+	if cfg.GoldenImage == "" {
+		return nil
+	}
+	st, err := writeVMGolden(cfg.GoldenImage, []byte(cfg.goldenKey()), sim, m, goldenWorkers(cfg.Workers))
+	if err != nil {
+		return fmt.Errorf("inject: writing golden image %s: %w", cfg.GoldenImage, err)
+	}
+	recordGoldenSaved(cfg.Obs, "campaign_vm", st)
+	return nil
+}
+
+func b2u8(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -20,6 +20,7 @@
 package inject
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -142,8 +143,10 @@ type campaignJournal struct {
 // openCampaignJournal opens (or creates) the campaign directory, validates
 // its manifest against the live plan, scans the journal — truncating a torn
 // tail, failing hard on any other corruption — and returns the journal plus
-// the recovered payloads indexed by slot (nil where missing).
-func openCampaignJournal(dir string, want campaignio.Manifest) (*campaignJournal, [][]byte, error) {
+// the recovered payloads indexed by slot (nil where missing). compress
+// selects the compressed-segment journal framing for a freshly created
+// journal (an existing journal keeps its own framing).
+func openCampaignJournal(dir string, want campaignio.Manifest, compress bool) (*campaignJournal, [][]byte, error) {
 	if campaignio.HasManifest(dir) {
 		have, err := campaignio.ReadManifest(dir)
 		if err != nil {
@@ -160,22 +163,33 @@ func openCampaignJournal(dir string, want campaignio.Manifest) (*campaignJournal
 		return nil, nil, err
 	}
 	loaded := make([][]byte, want.Slots)
+	distinct := 0
 	for _, rec := range scan.Records {
 		if !want.Owns(rec.Slot) {
 			return nil, nil, fmt.Errorf("inject: %s: %w: slot %d belongs to another shard",
 				dir, campaignio.ErrCorrupt, rec.Slot)
 		}
-		if loaded[rec.Slot] != nil {
-			return nil, nil, fmt.Errorf("inject: %s: %w: slot %d recorded twice",
-				dir, campaignio.ErrCorrupt, rec.Slot)
+		if prev := loaded[rec.Slot]; prev != nil {
+			// A slot journalled twice with identical bytes is the benign
+			// residue of an interrupted run whose batch re-ran after an
+			// older scan; only differing payloads are corruption.
+			if !bytes.Equal(prev, rec.Payload) {
+				return nil, nil, fmt.Errorf("inject: %s: %w: slot %d recorded twice with differing payloads",
+					dir, campaignio.ErrCorrupt, rec.Slot)
+			}
+			continue
 		}
 		loaded[rec.Slot] = rec.Payload
+		distinct++
 	}
-	w, err := campaignio.OpenWriter(dir, scan.ValidLen, journalBatch)
+	w, err := campaignio.OpenWriterWith(dir, scan.ValidLen, campaignio.Options{
+		Batch:    journalBatch,
+		Compress: compress,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return &campaignJournal{w: w, resumed: len(scan.Records), torn: scan.Torn}, loaded, nil
+	return &campaignJournal{w: w, resumed: distinct, torn: scan.Torn}, loaded, nil
 }
 
 // record journals one completed trial. Called from worker goroutines as

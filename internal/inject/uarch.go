@@ -132,6 +132,25 @@ type UArchConfig struct {
 	ShardIndex int
 	ShardCount int
 
+	// GoldenImage, if non-empty, is the path of a warmed-state golden
+	// image (internal/ckptio). When the file exists the campaign loads it
+	// instead of simulating WarmupCycles; when it does not, the campaign
+	// warms up normally and saves the image for the next run — so N
+	// sharded workers pointed at one image pay for warm-up once. The image
+	// records the configuration that produced it (bench, seed, scale,
+	// warm-up length, pipeline config); loading a mismatched image is an
+	// error, never silently wrong state. Results are byte-identical with
+	// or without an image, so — like the other inert toggles — the field
+	// is excluded from the durable-campaign plan string.
+	GoldenImage string
+
+	// CompressJournal selects the compressed-segment journal encoding
+	// (campaignio format RSTJRNL2) for newly created durable journals.
+	// Existing journals keep their own format on resume, scans read both,
+	// and merged output is identical either way, so the toggle is inert
+	// and excluded from the plan string.
+	CompressJournal bool
+
 	// Interrupt, if non-nil, stops the campaign cleanly when it becomes
 	// readable: in-flight trials drain, the journal tail is flushed, and
 	// RunUArch returns ErrInterrupted.
@@ -313,7 +332,7 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 			return nil, err
 		}
 		var loaded [][]byte
-		jr, loaded, err = openCampaignJournal(cfg.ResumeFrom, man)
+		jr, loaded, err = openCampaignJournal(cfg.ResumeFrom, man, cfg.CompressJournal)
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +372,21 @@ func RunUArch(cfg UArchConfig) (*UArchResult, error) {
 		}
 	}
 
-	master.RunCycles(cfg.WarmupCycles)
+	// Warm up the master — or restore the warm-up boundary from a golden
+	// image. The image captures bit-identical state, so both paths produce
+	// byte-identical campaigns (TestUArchGoldenImageEquivalence).
+	loaded, err := loadUArchGolden(&cfg, pcfg, master)
+	if err != nil {
+		jr.finish(nil, "")
+		return nil, err
+	}
+	if !loaded {
+		master.RunCycles(cfg.WarmupCycles)
+		if err := saveUArchGolden(&cfg, pcfg, master); err != nil {
+			jr.finish(nil, "")
+			return nil, err
+		}
+	}
 	if master.Status() != pipeline.StatusRunning {
 		// The program ended inside warm-up: nothing to inject into.
 		result.Trials = []UArchTrial{}

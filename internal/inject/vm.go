@@ -100,6 +100,23 @@ type VMConfig struct {
 	ShardIndex int
 	ShardCount int
 
+	// GoldenImage, if non-empty, is the path of a warmed-state golden
+	// image (internal/ckptio). When the file exists the campaign loads it
+	// instead of walking the golden simulator to the Warmup boundary; when
+	// it does not, the campaign walks there normally and saves the image
+	// for the next run. The image records the configuration that produced
+	// it; a mismatch is an error. Results are byte-identical with or
+	// without an image, so the field is excluded from the durable-campaign
+	// plan string.
+	GoldenImage string
+
+	// CompressJournal selects the compressed-segment journal encoding
+	// (campaignio format RSTJRNL2) for newly created durable journals.
+	// Existing journals keep their own format on resume, scans read both,
+	// and merged output is identical either way, so the toggle is inert
+	// and excluded from the plan string.
+	CompressJournal bool
+
 	// Interrupt, if non-nil, stops the campaign cleanly when it becomes
 	// readable: in-flight trials drain, the journal tail is flushed, and
 	// RunVM returns ErrInterrupted.
@@ -220,6 +237,25 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 		dcache = isa.NewDecodeCache(prog.CodeBase, prog.Code)
 	}
 	sim.DCache = dcache
+	// Walk the golden simulator to the warm-up boundary — or restore that
+	// boundary from a golden image. Injection points all lie at or past
+	// cfg.Warmup, so pre-walking here replays exactly the Steps the points
+	// loop below would have taken; journal records written before the first
+	// point's snapshot mark are never rewound, only discarded, so both paths
+	// are byte-identical (TestVMGoldenImageEquivalence). The walk consumes
+	// no randomness, so the RNG stream is untouched either way.
+	goldenLoaded, err := loadVMGoldenIfPresent(&cfg, sim, m)
+	if err != nil {
+		return nil, err
+	}
+	if !goldenLoaded {
+		for sim.InstRet < cfg.Warmup && !sim.Stopped() {
+			sim.Step()
+		}
+		if err := saveVMGolden(&cfg, sim, m); err != nil {
+			return nil, err
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
 
 	// Injection points: sorted instruction indices. Points must land on
@@ -264,7 +300,7 @@ func RunVM(cfg VMConfig) (*VMResult, error) {
 	doneSlots := make([]bool, cfg.Trials)
 	if cfg.ResumeFrom != "" {
 		var loaded [][]byte
-		jr, loaded, err = openCampaignJournal(cfg.ResumeFrom, cfg.manifest())
+		jr, loaded, err = openCampaignJournal(cfg.ResumeFrom, cfg.manifest(), cfg.CompressJournal)
 		if err != nil {
 			return nil, err
 		}

@@ -46,3 +46,37 @@ func readNoCRC(path string) ([]Record, error) {
 func renameUntraced(a, b string) error {
 	return os.Rename(a, b) // want "cannot be traced"
 }
+
+// writeFramesUnsynced is the container write path with the fsync lost in a
+// refactor: the loop writes land in the page cache and the rename publishes
+// a possibly-empty file.
+func writeFramesUnsynced(path string, frames [][]byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "img.tmp")
+	if err != nil {
+		return err
+	}
+	for _, fr := range frames {
+		if _, err := tmp.Write(fr); err != nil { // want "written but never fsynced"
+			return err
+		}
+	}
+	tmp.Close()
+	return os.Rename(tmp.Name(), path) // want "without an earlier Sync"
+}
+
+// scanSegmentsNoCRC decompresses and trusts segment bytes without verifying
+// the segment checksum first.
+func scanSegmentsNoCRC(f *os.File) ([]Record, error) {
+	var out []Record
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return out, nil
+		}
+		body := make([]byte, 32)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return out, nil
+		}
+		out = append(out, Record{Slot: int(hdr[0]), Payload: body}) // want "without a CRC check"
+	}
+}

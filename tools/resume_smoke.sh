@@ -9,7 +9,10 @@
 #      campaign finishes before the signal lands, the resume degrades to a
 #      full journal recovery — the diff still must hold);
 #   3. two shards merged with `restore-sim merge` and rerun from the merged
-#      directory print byte-identical output to a one-shot run.
+#      directory print byte-identical output to a one-shot run;
+#   4. golden-image shards with compressed journals, one killed by SIGTERM
+#      and resumed, merge to the same byte-identical output — the full
+#      warm-start durability stack in one scenario.
 set -eu
 
 workdir=$(mktemp -d)
@@ -45,5 +48,26 @@ $sim $args -out "$workdir/s2" -shard 2/2 fig4 >/dev/null
 $sim -out "$workdir/merged" merge "$workdir/s1" "$workdir/s2"
 $sim $args -out "$workdir/merged" fig4 >"$workdir/merged.txt"
 diff "$workdir/golden.txt" "$workdir/merged.txt"
+
+echo "== golden-image shards + compressed journals, one killed, merged"
+# Shard 1 writes the golden image; shard 2 restores it. Shard 2 is killed
+# mid-campaign and resumed (same flags), then the shards merge; the rerun
+# from the merged directory must match the one-shot baseline byte for byte.
+gargs="$killargs -golden-image $workdir/golden-images -compress-journal"
+$sim $gargs -out "$workdir/g1" -shard 1/2 fig4 >/dev/null
+[ -n "$(ls "$workdir/golden-images"/*.golden 2>/dev/null)" ] || {
+	echo "no golden image written" >&2
+	exit 1
+}
+$sim $gargs -out "$workdir/g2" -shard 2/2 fig4 >/dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid" || true
+$sim $gargs -out "$workdir/g2" -shard 2/2 fig4 >/dev/null
+$sim -out "$workdir/gmerged" merge "$workdir/g1" "$workdir/g2"
+$sim $killargs -out "$workdir/gmerged" fig4 >"$workdir/gmerged.txt"
+diff "$workdir/golden_kill.txt" "$workdir/gmerged.txt"
+$sim ckpt inspect "$workdir"/golden-images/*.golden >/dev/null
 
 echo "resume smoke: OK"
