@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench bench-baseline bench-check telemetry resume protect clean
+.PHONY: all build test race engine lint vet staticcheck restorelint fuzz bench bench-baseline bench-check telemetry resume serve serve-smoke protect clean
 
 all: build test lint
 
@@ -78,6 +78,21 @@ telemetry:
 # one-shot run (tools/resume_smoke.sh; CI's durable-campaigns job).
 resume:
 	sh ./tools/resume_smoke.sh
+
+# The campaign service daemon on a local root. Submit jobs from another
+# shell: restore-sim -root $(SERVE_ROOT) submit fig2; see README.md
+# ("service mode") for the HTTP API.
+SERVE_ROOT ?= service-root
+
+serve:
+	$(GO) run ./cmd/restore-sim -root $(SERVE_ROOT) serve
+
+# Campaign-service smoke test: daemon SIGKILLed mid-job, restarted, job
+# auto-resumes to merged output byte-identical to a one-shot run; graceful
+# and forced shutdown paths too (tools/service_smoke.sh; CI's
+# campaign-service job).
+serve-smoke:
+	sh ./tools/service_smoke.sh
 
 # The static→hardening loop: derive budgeted protection policies from the
 # bit-level static analysis (JSON + predicted coverage, no injection), then

@@ -54,6 +54,14 @@
 // re-simulating the warm-up, with byte-identical results.
 // -compress-journal writes fresh campaign journals with compressed segments.
 // `restore-sim ckpt inspect <image>` prints a golden image's frame directory.
+//
+// Service mode: `restore-sim -root <dir> serve` runs the campaign service
+// daemon — an HTTP job queue over the same durable-campaign machinery. Jobs
+// are submitted, watched and cancelled with the submit/status/cancel/jobs
+// client subcommands (or plain curl; see README.md). The queue is persistent:
+// a killed daemon restarted on the same root resumes its jobs from their
+// shard journals, and every merged result is byte-identical to a one-shot
+// run of the same plan.
 package main
 
 import (
@@ -132,11 +140,19 @@ func run(args []string) error {
 		compress  = fs.Bool("compress-journal", false, "write fresh campaign journals with compressed segments (needs -out; an existing journal keeps the framing it was created with)")
 		budget    = fs.Uint64("budget", 0, "check-bit budget for the protect subcommand (0 = the hand-picked placement's overhead)")
 		budgets   = fs.String("budgets", "", "comma-separated check-bit budgets for budget-sweep (default 0,416,832,1664,3328,6656)")
+		sroot     = fs.String("root", "", "campaign service root directory (the serve daemon and its submit/status/cancel/jobs clients)")
+		addr      = fs.String("addr", "", "serve: listen address (default 127.0.0.1:0); clients: daemon address (default: discover via <root>/serve.addr)")
+		maxShards = fs.Int("max-shards", 2, "serve: shard simulations run concurrently across all jobs")
+		shards    = fs.Int("shards", 1, "submit: split every campaign into this many shard journals, merged when the job completes")
+		wait      = fs.Bool("wait", false, "submit/status: follow the job until it finishes")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: restore-sim [flags] <experiment>\n")
 		fmt.Fprintf(fs.Output(), "       restore-sim merge -out <merged-dir> <shard-dir>...\n")
-		fmt.Fprintf(fs.Output(), "       restore-sim ckpt inspect <image>\n\n")
+		fmt.Fprintf(fs.Output(), "       restore-sim ckpt inspect <image>\n")
+		fmt.Fprintf(fs.Output(), "       restore-sim -root <dir> serve\n")
+		fmt.Fprintf(fs.Output(), "       restore-sim -root <dir> [flags] submit <experiment>\n")
+		fmt.Fprintf(fs.Output(), "       restore-sim -root <dir> {status|cancel} <job-id> | jobs\n\n")
 		fmt.Fprintf(fs.Output(), "experiments: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6 fig7 fig8 summary compare ablate-jrs ablate-ckpt vulnerability analyze protect protect-compare budget-sweep demo all\n\n")
 		fs.PrintDefaults()
 	}
@@ -157,6 +173,34 @@ func run(args []string) error {
 			return fmt.Errorf("usage: restore-sim merge -out <merged-dir> <shard-dir>...")
 		}
 		return mergeRoots(*out, fs.Args()[1:])
+	}
+	switch fs.Arg(0) {
+	case "serve":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: restore-sim -root <dir> [-addr host:port] [-max-shards n] serve")
+		}
+		return runServe(*sroot, *addr, *maxShards, *workers)
+	case "submit":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: restore-sim -root <dir> [flags] submit <experiment>")
+		}
+		return runSubmit(*sroot, *addr, fs.Arg(1), *benches, *seed, *scale, *trials,
+			*shards, *workers, *compress, *wait)
+	case "status":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: restore-sim -root <dir> [-wait] status <job-id>")
+		}
+		return runStatus(*sroot, *addr, fs.Arg(1), *wait)
+	case "cancel":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: restore-sim -root <dir> cancel <job-id>")
+		}
+		return runCancel(*sroot, *addr, fs.Arg(1))
+	case "jobs":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: restore-sim -root <dir> jobs")
+		}
+		return runJobs(*sroot, *addr)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -211,15 +255,10 @@ func run(args []string) error {
 		c.opts.Interrupt = stop
 	}
 	if *out != "" {
-		sigc := make(chan os.Signal, 1)
+		sigc := make(chan os.Signal, 2)
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(sigc)
-		go func() {
-			if _, ok := <-sigc; ok {
-				fmt.Fprintln(os.Stderr, "\nrestore-sim: draining in-flight trials and flushing journals...")
-				stopCampaigns()
-			}
-		}()
+		go watchInterrupts(sigc, stopCampaigns, forceExit)
 	}
 	if *stopAfter > 0 {
 		inner := c.opts.Progress
@@ -282,28 +321,47 @@ func run(args []string) error {
 	return nil
 }
 
+// watchInterrupts implements the two-level interruption protocol shared by
+// durable runs and the service daemon. The first signal asks the campaigns
+// to drain: in-flight trials finish, journals flush, the process exits
+// through the normal ErrInterrupted path. A second signal means the user
+// will not wait for the drain: the completed-trial records already buffered
+// are flushed to the journals and the process exits immediately. A closed
+// channel (signal.Stop on the way out) ends the watcher either way.
+func watchInterrupts(sigc <-chan os.Signal, drain, force func()) {
+	if _, ok := <-sigc; !ok {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "\nrestore-sim: draining in-flight trials and flushing journals (signal again to force exit)...")
+	drain()
+	if _, ok := <-sigc; !ok {
+		return
+	}
+	force()
+}
+
+// exitFn is swapped out by tests that exercise the forced-exit path.
+var exitFn = os.Exit
+
+// forceExit flushes every open campaign journal's completed records and
+// terminates with the conventional fatal-signal status. Journals stay
+// crash-consistent: the flushed records are exactly what a resumed run
+// recovers, and anything in flight re-runs then.
+func forceExit() {
+	fmt.Fprintln(os.Stderr, "restore-sim: forced exit; journalled trials are flushed, in-flight trials will re-run on resume")
+	if err := inject.FlushJournals(); err != nil {
+		fmt.Fprintln(os.Stderr, "restore-sim: journal flush:", err)
+	}
+	exitFn(130)
+}
+
 // runShard runs one shard of a campaign experiment. Only the raw campaigns
 // can shard: derived experiments (fig8, summary, ...) need the full trial set
 // and are produced from the merged directory instead. Partial per-shard
 // tables would be misleading, so a shard run prints a completion notice
 // rather than results.
 func (c *cli) runShard(experiment string) error {
-	var err error
-	switch experiment {
-	case "fig2":
-		_, err = experiments.Fig2(c.opts, false)
-	case "fig2-low32":
-		_, err = experiments.Fig2(c.opts, true)
-	case "fig4", "fig5", "fig5-perfect":
-		_, err = experiments.Campaign(c.opts, experiments.CampaignConfig{})
-	case "fig4-latches":
-		_, err = experiments.Campaign(c.opts, experiments.CampaignConfig{LatchesOnly: true})
-	case "fig6":
-		_, err = experiments.Campaign(c.opts, experiments.CampaignConfig{Harden: harden.LowHangingFruit})
-	default:
-		return fmt.Errorf("experiment %q cannot run sharded (shardable: fig2 fig2-low32 fig4 fig4-latches fig5 fig5-perfect fig6)", experiment)
-	}
-	return err
+	return experiments.RunShardable(experiment, c.opts)
 }
 
 // mergeRoots combines the campaign directories journalled by sharded runs.
@@ -312,19 +370,19 @@ func (c *cli) runShard(experiment string) error {
 // every trial slot, and any journal corruption aborts the merge — a damaged
 // shard is resumed, never patched over.
 func mergeRoots(outRoot string, roots []string) error {
-	ids, err := campaignIDs(roots[0])
+	ids, err := campaignio.ListCampaigns(roots[0])
 	if err != nil {
 		return err
 	}
 	if len(ids) == 0 {
-		return fmt.Errorf("no campaign directories under %s", roots[0])
+		return fmt.Errorf("%w: no campaign directories under %s", campaignio.ErrNoCampaign, roots[0])
 	}
 	known := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		known[id] = true
 	}
 	for _, root := range roots[1:] {
-		other, err := campaignIDs(root)
+		other, err := campaignio.ListCampaigns(root)
 		if err != nil {
 			return err
 		}
@@ -405,22 +463,6 @@ func printableMeta(b []byte) bool {
 		}
 	}
 	return true
-}
-
-// campaignIDs lists the campaign directories (subdirectories with a
-// manifest) under a shard root.
-func campaignIDs(root string) ([]string, error) {
-	entries, err := os.ReadDir(root)
-	if err != nil {
-		return nil, err
-	}
-	var ids []string
-	for _, e := range entries {
-		if e.IsDir() && campaignio.HasManifest(filepath.Join(root, e.Name())) {
-			ids = append(ids, e.Name())
-		}
-	}
-	return ids, nil
 }
 
 func (c *cli) dispatch(fs *flag.FlagSet, experiment string) error {

@@ -135,7 +135,7 @@ func TestRunDurableResumeMatchesOneShot(t *testing.T) {
 	if _, err := captureStdout(t, func() error { return run(durable) }); err != nil {
 		t.Fatalf("interrupted run must exit cleanly, got %v", err)
 	}
-	ids, err := campaignIDs(dir)
+	ids, err := campaignio.ListCampaigns(dir)
 	if err != nil || len(ids) == 0 {
 		t.Fatalf("interrupted run left no campaign directory (ids %v, err %v)", ids, err)
 	}
@@ -300,7 +300,7 @@ func TestRunCompressedJournalResume(t *testing.T) {
 	if _, err := captureStdout(t, func() error { return run(durable) }); err != nil {
 		t.Fatalf("interrupted run must exit cleanly, got %v", err)
 	}
-	ids, err := campaignIDs(dir)
+	ids, err := campaignio.ListCampaigns(dir)
 	if err != nil || len(ids) != 1 {
 		t.Fatalf("campaign dirs = %v (err %v)", ids, err)
 	}

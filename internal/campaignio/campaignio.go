@@ -54,6 +54,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -97,6 +98,12 @@ var (
 	// ErrManifestMismatch reports a manifest incompatible with the live
 	// configuration or with its sibling shards.
 	ErrManifestMismatch = errors.New("campaignio: manifest mismatch")
+	// ErrNoCampaign reports an operation aimed at a location that holds no
+	// campaign at all: an empty shard-directory list, a nonexistent
+	// directory, or a directory without a manifest. The error text lists
+	// what was expected versus what was actually found, so a mistyped
+	// path is diagnosable from the message alone.
+	ErrNoCampaign = errors.New("campaignio: no campaign found")
 )
 
 // Manifest identifies a campaign's trial plan. Two runs with equal manifests
@@ -233,6 +240,52 @@ func ReadManifest(dir string) (Manifest, error) {
 func HasManifest(dir string) bool {
 	_, err := os.Stat(filepath.Join(dir, ManifestName))
 	return err == nil
+}
+
+// ListCampaigns returns the campaign IDs — subdirectory names holding a
+// manifest — under a shard or merge root, in sorted order. A nonexistent
+// root is an empty listing, not an error: to a scanner it holds the same
+// campaigns an empty directory does.
+func ListCampaigns(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && HasManifest(filepath.Join(root, e.Name())) {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
+}
+
+// describeDir summarises what a manifest-less shard directory actually
+// contains, for ErrNoCampaign messages.
+func describeDir(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return "directory does not exist"
+	}
+	if err != nil {
+		return err.Error()
+	}
+	if len(entries) == 0 {
+		return "directory is empty"
+	}
+	const maxNames = 6
+	names := make([]string, 0, maxNames+1)
+	for i, e := range entries {
+		if i == maxNames {
+			names = append(names, fmt.Sprintf("... %d more", len(entries)-maxNames))
+			break
+		}
+		names = append(names, e.Name())
+	}
+	return "contains " + strings.Join(names, ", ")
 }
 
 // Record is one journaled trial result: the slot it fills and the
@@ -643,15 +696,27 @@ func (w *Writer) Close() error {
 // slot, len == the covered prefix.
 func MergeScan(dirs []string) (Manifest, [][]byte, error) {
 	if len(dirs) == 0 {
-		return Manifest{}, nil, fmt.Errorf("campaignio: no shard directories to merge")
+		return Manifest{}, nil, fmt.Errorf("%w: no shard directories to merge (expected at least one campaign directory)",
+			ErrNoCampaign)
 	}
 	manifests := make([]Manifest, len(dirs))
+	var noManifest []string
 	for i, dir := range dirs {
 		m, err := ReadManifest(dir)
+		if errors.Is(err, os.ErrNotExist) {
+			// Collect every manifest-less directory before failing, so one
+			// error names all of them alongside what they actually hold.
+			noManifest = append(noManifest, fmt.Sprintf("%s (%s)", dir, describeDir(dir)))
+			continue
+		}
 		if err != nil {
 			return Manifest{}, nil, fmt.Errorf("%s: %w", dir, err)
 		}
 		manifests[i] = m
+	}
+	if len(noManifest) > 0 {
+		return Manifest{}, nil, fmt.Errorf("%w: %d of %d shard directories hold no %s: %s",
+			ErrNoCampaign, len(noManifest), len(dirs), ManifestName, strings.Join(noManifest, "; "))
 	}
 	base := manifests[0]
 	if base.ShardCount != len(dirs) {

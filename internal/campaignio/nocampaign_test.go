@@ -1,0 +1,120 @@
+package campaignio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// MergeScan pointed at nothing must say so with ErrNoCampaign and an
+// expected-vs-found message, never a bare scan failure.
+
+func TestMergeScanZeroShards(t *testing.T) {
+	for _, dirs := range [][]string{nil, {}} {
+		_, _, err := MergeScan(dirs)
+		if !errors.Is(err, ErrNoCampaign) {
+			t.Fatalf("MergeScan(%v) = %v, want ErrNoCampaign", dirs, err)
+		}
+		if !strings.Contains(err.Error(), "no shard directories") {
+			t.Fatalf("error does not say what was expected: %v", err)
+		}
+	}
+}
+
+func TestMergeScanNonexistentDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "never-created")
+	_, _, err := MergeScan([]string{dir})
+	if !errors.Is(err, ErrNoCampaign) {
+		t.Fatalf("MergeScan(nonexistent) = %v, want ErrNoCampaign", err)
+	}
+	for _, want := range []string{dir, "directory does not exist", "1 of 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestMergeScanEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	_, _, err := MergeScan([]string{dir})
+	if !errors.Is(err, ErrNoCampaign) {
+		t.Fatalf("MergeScan(empty dir) = %v, want ErrNoCampaign", err)
+	}
+	if !strings.Contains(err.Error(), "directory is empty") {
+		t.Fatalf("error does not describe the empty directory: %v", err)
+	}
+}
+
+func TestMergeScanMissingManifestListsContents(t *testing.T) {
+	// One healthy shard, one directory holding stray files but no manifest:
+	// the error must identify the broken directory and what it holds, and
+	// only that directory.
+	good := t.TempDir()
+	writeJournal(t, good, testManifest(10, 0, 2), []int{0, 2, 4}, 1)
+	bad := t.TempDir()
+	for _, name := range []string{"journal.restj", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(bad, name), []byte("stray"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := MergeScan([]string{good, bad})
+	if !errors.Is(err, ErrNoCampaign) {
+		t.Fatalf("MergeScan = %v, want ErrNoCampaign", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"1 of 2", bad, "journal.restj", "notes.txt"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, good) {
+		t.Fatalf("error %q blames the healthy shard %s", msg, good)
+	}
+}
+
+func TestMergeScanIgnoresStrayFilesBesideManifest(t *testing.T) {
+	// Extra files next to a valid manifest+journal must not break the merge.
+	a := t.TempDir()
+	writeJournal(t, a, testManifest(4, 0, 2), []int{0, 2}, 1)
+	b := t.TempDir()
+	writeJournal(t, b, testManifest(4, 1, 2), []int{1, 3}, 1)
+	if err := os.WriteFile(filepath.Join(a, "metrics.prom"), []byte("# stray"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, payloads, err := MergeScan([]string{a, b})
+	if err != nil {
+		t.Fatalf("MergeScan with stray file: %v", err)
+	}
+	if man.ShardCount != 1 || len(payloads) != 4 {
+		t.Fatalf("merged %d payloads (shard count %d), want 4 (1)", len(payloads), man.ShardCount)
+	}
+}
+
+func TestListCampaigns(t *testing.T) {
+	root := t.TempDir()
+	if ids, err := ListCampaigns(filepath.Join(root, "missing")); err != nil || len(ids) != 0 {
+		t.Fatalf("ListCampaigns(nonexistent) = %v, %v; want empty, nil", ids, err)
+	}
+	if ids, err := ListCampaigns(root); err != nil || len(ids) != 0 {
+		t.Fatalf("ListCampaigns(empty) = %v, %v; want empty, nil", ids, err)
+	}
+	writeJournal(t, filepath.Join(root, "uarch-gzip-aa"), testManifest(4, 0, 1), []int{0}, 1)
+	writeJournal(t, filepath.Join(root, "vm-mcf-bb"), testManifest(4, 0, 1), []int{0}, 1)
+	// Directories without manifests and plain files are not campaigns.
+	if err := os.MkdirAll(filepath.Join(root, "golden-images"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "serve.addr"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ListCampaigns(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"uarch-gzip-aa", "vm-mcf-bb"}
+	if len(ids) != len(want) || ids[0] != want[0] || ids[1] != want[1] {
+		t.Fatalf("ListCampaigns = %v, want %v", ids, want)
+	}
+}

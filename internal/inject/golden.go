@@ -2,6 +2,7 @@ package inject
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 
@@ -53,6 +54,23 @@ func goldenWorkers(workers int) int {
 	return workers
 }
 
+// invalidGoldenImage reports whether a load failure means the file is not a
+// structurally valid ckptio container — a torn copy, bit rot, or a file that
+// was never an image. Such a file is treated exactly like an absent one: the
+// campaign re-runs the warm-up and atomically rewrites the image (ckptio's
+// temp+fsync+rename makes the replacement safe even against concurrent
+// shards). Crucially, ckptio surfaces these errors while decoding, before a
+// single word of simulator state is touched, so self-healing never runs a
+// campaign from a half-restored state. A mismatch error
+// (pipeline.ErrGoldenMismatch) is NOT recoverable: the file is a healthy
+// image for some other configuration, and silently overwriting it would
+// destroy another campaign's warm-up.
+func invalidGoldenImage(err error) bool {
+	return errors.Is(err, ckptio.ErrBadMagic) ||
+		errors.Is(err, ckptio.ErrTruncated) ||
+		errors.Is(err, ckptio.ErrCorrupt)
+}
+
 // recordGoldenSaved publishes save-side telemetry: image count, frame count
 // and the plain/stored byte totals (their ratio is the compression factor).
 func recordGoldenSaved(sink obs.Sink, ns string, st ckptio.Stats) {
@@ -75,6 +93,10 @@ func loadUArchGolden(cfg *UArchConfig, pcfg pipeline.Config, master *pipeline.Pi
 		return false, err
 	}
 	if err := master.LoadGoldenImage(cfg.GoldenImage, []byte(cfg.goldenKey(pcfg)), goldenWorkers(cfg.Workers)); err != nil {
+		if invalidGoldenImage(err) {
+			cfg.Obs.Counter("campaign_uarch_golden_image_invalid_total").Inc()
+			return false, nil // self-heal: warm up again and rewrite the image
+		}
 		return false, fmt.Errorf("inject: golden image %s: %w", cfg.GoldenImage, err)
 	}
 	cfg.Obs.Counter("campaign_uarch_golden_image_loaded_total").Inc()
@@ -183,6 +205,10 @@ func loadVMGoldenIfPresent(cfg *VMConfig, sim *arch.Sim, m *mem.Memory) (bool, e
 		return false, err
 	}
 	if err := loadVMGolden(cfg.GoldenImage, []byte(cfg.goldenKey()), sim, m, goldenWorkers(cfg.Workers)); err != nil {
+		if invalidGoldenImage(err) {
+			cfg.Obs.Counter("campaign_vm_golden_image_invalid_total").Inc()
+			return false, nil // self-heal: walk the warm-up again and rewrite
+		}
 		return false, fmt.Errorf("inject: golden image %s: %w", cfg.GoldenImage, err)
 	}
 	cfg.Obs.Counter("campaign_vm_golden_image_loaded_total").Inc()

@@ -126,6 +126,30 @@ func validateSharding(resumeFrom string, shardIndex, shardCount int) error {
 	return nil
 }
 
+// openJournals tracks every live campaignJournal so an emergency shutdown —
+// a process forced to exit while campaigns are still draining — can flush
+// the records of already-completed trials without waiting for the drain.
+// Entries are registered by openCampaignJournal and removed by finish.
+var openJournals sync.Map // *campaignJournal -> struct{}
+
+// FlushJournals fsyncs the buffered records of every open campaign journal.
+// It is the emergency half of the interruption protocol: the orderly path
+// (Interrupt channel) drains in-flight trials and closes each journal via
+// finish, while FlushJournals makes whatever is already journalled durable
+// right now, from any goroutine, without stopping the campaigns. Records
+// flushed here are exactly the completed trials a resumed run recovers.
+// It returns the first flush error, if any.
+func FlushJournals() error {
+	var first error
+	openJournals.Range(func(k, _ any) bool {
+		if err := k.(*campaignJournal).w.Flush(); err != nil && first == nil {
+			first = err
+		}
+		return true
+	})
+	return first
+}
+
 // campaignJournal couples a campaignio.Writer with the bookkeeping a running
 // campaign needs: which slots were loaded, whether a torn tail was repaired,
 // and the first append error (workers journal concurrently; the dispatcher
@@ -189,7 +213,9 @@ func openCampaignJournal(dir string, want campaignio.Manifest, compress bool) (*
 	if err != nil {
 		return nil, nil, err
 	}
-	return &campaignJournal{w: w, resumed: distinct, torn: scan.Torn}, loaded, nil
+	j := &campaignJournal{w: w, resumed: distinct, torn: scan.Torn}
+	openJournals.Store(j, struct{}{})
+	return j, loaded, nil
 }
 
 // record journals one completed trial. Called from worker goroutines as
@@ -219,6 +245,7 @@ func (j *campaignJournal) finish(sink obs.Sink, prefix string) error {
 	if j == nil {
 		return nil
 	}
+	openJournals.Delete(j)
 	ferr := j.w.Close()
 	sink.Counter(prefix + "_resumed_slots_total").Add(int64(j.resumed))
 	sink.Counter(prefix + "_journal_flushes_total").Add(j.w.Flushes())

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled narrows the widest lifecycle tests when the race detector's
+// ~10x slowdown applies: the kill/restart/resume test covers one benchmark
+// under -race and the full suite otherwise.
+const raceEnabled = true

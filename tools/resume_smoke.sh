@@ -12,11 +12,21 @@
 #      directory print byte-identical output to a one-shot run;
 #   4. golden-image shards with compressed journals, one killed by SIGTERM
 #      and resumed, merge to the same byte-identical output — the full
-#      warm-start durability stack in one scenario.
+#      warm-start durability stack in one scenario;
+#   5. a second SIGTERM mid-drain forces an immediate exit with the journal
+#      flushed, and the resume still matches byte for byte;
+#   6. the service daemon SIGKILLed mid-job restarts, auto-resumes, and
+#      merges byte-identically (tools/service_smoke.sh runs the full
+#      daemon matrix; this is the one-scenario version).
 set -eu
 
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"' EXIT
+daemon=""
+cleanup() {
+	[ -n "$daemon" ] && kill -9 "$daemon" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
 
 go build -o "$workdir/restore-sim" ./cmd/restore-sim
 sim=$workdir/restore-sim
@@ -69,5 +79,53 @@ $sim -out "$workdir/gmerged" merge "$workdir/g1" "$workdir/g2"
 $sim $killargs -out "$workdir/gmerged" fig4 >"$workdir/gmerged.txt"
 diff "$workdir/golden_kill.txt" "$workdir/gmerged.txt"
 $sim ckpt inspect "$workdir"/golden-images/*.golden >/dev/null
+
+echo "== double SIGTERM forces an immediate exit, journal still resumes"
+# The first signal starts the drain; the second refuses to wait for it. A
+# forced exit reports 130; if the tiny campaign drains before the second
+# signal lands the run exits normally — either way the journal must hold
+# exactly the completed trials and the resume must match byte for byte.
+$sim $killargs -out "$workdir/forced" fig4 >/dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -TERM "$pid" 2>/dev/null || true
+sleep 0.1
+kill -TERM "$pid" 2>/dev/null || true
+set +e
+wait "$pid"
+code=$?
+set -e
+[ "$code" -eq 130 ] || [ "$code" -eq 0 ] || {
+	echo "double-signalled run exited $code, want 130 (forced) or 0 (drained)" >&2
+	exit 1
+}
+$sim $killargs -out "$workdir/forced" fig4 >"$workdir/forced.txt"
+diff "$workdir/golden_kill.txt" "$workdir/forced.txt"
+
+echo "== service daemon: SIGKILL mid-job, restart, auto-resume, merged byte-identical"
+droot=$workdir/service
+dargs="-seed 42 -scale 0.5 -trials 2 -bench gzip"
+$sim $dargs -out "$workdir/daemon-oneshot" fig2 >/dev/null
+$sim -root "$droot" serve >"$workdir/serve.log" 2>&1 &
+daemon=$!
+for _ in $(seq 100); do
+	$sim -root "$droot" jobs >/dev/null 2>&1 && break
+	sleep 0.1
+done
+$sim -root "$droot" $dargs -shards 2 submit fig2 >/dev/null
+sleep 0.5
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+$sim -root "$droot" serve >>"$workdir/serve.log" 2>&1 &
+daemon=$!
+for _ in $(seq 100); do
+	$sim -root "$droot" jobs >/dev/null 2>&1 && break
+	sleep 0.1
+done
+$sim -root "$droot" -wait status job-000001 >/dev/null
+diff -r "$droot/jobs/job-000001/merged" "$workdir/daemon-oneshot"
+kill -TERM "$daemon"
+wait "$daemon" || true
+daemon=""
 
 echo "resume smoke: OK"
